@@ -1,0 +1,46 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* profiling length (how many batches the online profiler observes),
+* Algorithm 2's optimal offloading point vs a naive fixed midpoint,
+* freezing the feature layers (the paper's choice) vs the classifier.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import (
+    ablation_freeze_side,
+    ablation_offload_point,
+    ablation_profile_length,
+)
+
+
+def test_ablation_profile_length(benchmark, print_figure):
+    data = run_once(benchmark, ablation_profile_length)
+    print_figure(data["render"])
+    times = data["total_time_s"]
+    accuracy = data["final_accuracy"]
+    # All profiling lengths produce working schedules: every run completes the
+    # full round budget with a usable model and broadly similar total times.
+    assert all(acc > 0.1 for acc in accuracy.values())
+    assert max(times.values()) <= min(times.values()) * 1.6
+
+
+def test_ablation_offload_point(benchmark, print_figure):
+    data = run_once(benchmark, ablation_offload_point)
+    print_figure(data["render"])
+    for ratio, improvement in data["improvements"].items():
+        # The optimal search never loses to the midpoint heuristic, and helps
+        # substantially when the speed gap is large.
+        assert improvement >= -1e-9
+    assert data["improvements"][max(data["improvements"])] > 0.10
+
+
+def test_ablation_freeze_side(benchmark, print_figure):
+    data = run_once(benchmark, ablation_freeze_side)
+    print_figure(data["render"])
+    for workload, saving in data["savings"].items():
+        assert saving["freeze_features_saving_pct"] > 2 * saving["freeze_classifier_saving_pct"], (
+            workload
+        )

@@ -1,0 +1,43 @@
+"""Figure 1 (motivation): heterogeneity, deadlines, and their costs.
+
+* Figure 1(a): round-duration multiplier grows with the variance of client
+  CPU speeds and with the cluster size.
+* Figure 1(b): imposing per-round deadlines bounds the total training time.
+* Figure 1(c): those deadlines cost accuracy in the non-IID setting because
+  dropped stragglers hold unique data.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure1a, figure1b_1c
+
+
+def test_fig1a_cpu_variance(benchmark, print_figure):
+    data = run_once(benchmark, figure1a)
+    print_figure(data["render"])
+    multipliers = data["multipliers"]
+    variances = data["variances"]
+    for clients, per_variance in multipliers.items():
+        # The homogeneous case is the baseline (multiplier 1.0) and the most
+        # heterogeneous case must be noticeably slower.
+        assert per_variance[variances[0]] == 1.0
+        assert per_variance[variances[-1]] > 1.1, f"no slowdown for {clients} clients"
+
+
+def test_fig1b_1c_deadlines(benchmark, print_figure):
+    """Figures 1(b) and 1(c) come from the same deadline sweep."""
+    data = run_once(benchmark, figure1b_1c)
+    print_figure(data["render"])
+    times = data["total_time_s"]
+    accuracy = data["final_accuracy"]
+    dropped = data["dropped"]
+    # Figure 1(b): tighter deadlines can only shorten (or keep) the total time,
+    # and the tightest deadline is the fastest configuration.
+    assert times["10s"] <= times["inf"] + 1e-6
+    assert min(times.values()) == times["10s"]
+    # Figure 1(c): the tightest deadline actually drops clients, and dropping
+    # unique non-IID data does not improve the final accuracy.
+    assert dropped["10s"] > 0
+    assert accuracy["10s"] <= accuracy["inf"] + 0.1

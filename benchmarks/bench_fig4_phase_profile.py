@@ -1,0 +1,26 @@
+"""Figure 4: share of a local update spent in each training phase.
+
+The paper profiles five (dataset, network) pairs and finds that the
+backward pass over the feature layers (``bf``) dominates, taking 52-75 % of
+a local update.  The reproduction regenerates the same five bars and checks
+that ``bf`` dominates every workload.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4
+
+
+def test_fig4_phase_breakdown(benchmark, print_figure):
+    data = run_once(benchmark, figure4, batches=3, batch_size=16)
+    print_figure(data["render"])
+    for workload, fractions in data["fractions"].items():
+        shares = {name: fractions[name] for name in ("ff", "fc", "bc", "bf")}
+        assert abs(sum(shares.values()) - 100.0) < 1e-6
+        # The paper's headline observation: bf dominates (52-75 % there).
+        assert shares["bf"] == max(shares.values()), workload
+        assert shares["bf"] > 40.0, workload
+        # Fully connected phases are comparatively cheap on CNN classifiers.
+        assert shares["fc"] + shares["bc"] < shares["ff"] + shares["bf"], workload

@@ -1,0 +1,31 @@
+"""Figure 6: accuracy and training time with IID client data.
+
+The paper's observation (§5.2): with IID data all five algorithms reach a
+comparable accuracy, but Aergia completes the same number of rounds in
+noticeably less time than FedAvg and TiFL.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure6
+
+
+def test_fig6_iid_accuracy_and_time(benchmark, print_figure):
+    data = run_once(benchmark, figure6)
+    print_figure(data["render"])
+    accuracy = data["accuracy"]
+    times = data["total_time_s"]
+    for dataset in accuracy:
+        # Aergia is faster than synchronous FedAvg on every dataset.
+        assert times[dataset]["aergia"] < times[dataset]["fedavg"], dataset
+    # Accuracy stays comparable: averaged over the three datasets, Aergia is
+    # within a small margin of FedAvg.  (Per-dataset accuracy at the scaled
+    # round budget is still early in training and therefore noisy; the full
+    # REPRO_SCALE=full runs tighten this comparison.)
+    import numpy as np
+
+    aergia_mean = np.mean([accuracy[d]["aergia"] for d in accuracy])
+    fedavg_mean = np.mean([accuracy[d]["fedavg"] for d in accuracy])
+    assert aergia_mean >= fedavg_mean - 0.1

@@ -1,0 +1,31 @@
+"""Figure 7: accuracy and training time with non-IID client data.
+
+The paper's observation (§5.2): non-IID data amplifies the impact of
+resource heterogeneity; Aergia reduces the per-round and total training
+time (up to 27 % vs FedAvg and 53 % vs TiFL) while keeping accuracy
+comparable to the non-IID-aware baselines.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure7
+
+
+def test_fig7_noniid_accuracy_and_time(benchmark, print_figure):
+    data = run_once(benchmark, figure7)
+    print_figure(data["render"])
+    accuracy = data["accuracy"]
+    times = data["total_time_s"]
+    for dataset in accuracy:
+        # Aergia finishes the same round budget faster than FedAvg.
+        assert times[dataset]["aergia"] < times[dataset]["fedavg"], dataset
+    # Accuracy stays comparable: averaged over the three datasets, Aergia is
+    # within a small margin of FedAvg (per-dataset numbers at the scaled-down
+    # round budget are noisy; REPRO_SCALE=full tightens this comparison).
+    import numpy as np
+
+    aergia_mean = np.mean([accuracy[d]["aergia"] for d in accuracy])
+    fedavg_mean = np.mean([accuracy[d]["fedavg"] for d in accuracy])
+    assert aergia_mean >= fedavg_mean - 0.1

@@ -1,0 +1,29 @@
+"""Figure 9: impact of the similarity factor f on accuracy and round time.
+
+The paper sweeps f over {1, 0.75, 0.5, 0.25, 0}: ignoring data similarity
+(f = 0) gives the shortest rounds but hurts accuracy; a positive factor
+restricts the offloading targets to data-compatible clients, trading a
+little round time for better accuracy.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure9
+
+
+def test_fig9_similarity_factor(benchmark, print_figure):
+    data = run_once(benchmark, figure9)
+    print_figure(data["render"])
+    accuracy = data["accuracy"]
+    round_time = data["mean_round_duration_s"]
+
+    # Round-time shape: ignoring similarity (f=0) never yields longer rounds
+    # than the most restrictive setting (f=1).
+    assert round_time["f=0.0"] <= round_time["f=1.0"] * 1.05
+
+    # Accuracy shape: using the similarity matrix (any positive f) is at least
+    # as good as ignoring it, within a small tolerance for run-to-run noise.
+    best_positive = max(acc for label, acc in accuracy.items() if label != "f=0.0")
+    assert best_positive >= accuracy["f=0.0"] - 0.05

@@ -1,0 +1,30 @@
+"""Headline claims (§1, §5.2): Aergia's training-time reduction.
+
+The paper reports that Aergia completes the same training in up to 27 %
+less time than FedAvg and up to 53 % less time than TiFL, while keeping a
+comparable accuracy.  This benchmark regenerates the three-way comparison
+on the non-IID FMNIST workload and checks the direction (and rough
+magnitude) of those reductions at the reproduction's scale.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import headline_claims
+
+
+def test_headline_time_reductions(benchmark, print_figure):
+    data = run_once(benchmark, headline_claims)
+    print_figure(data["render"])
+
+    # Aergia saves time against synchronous FedAvg.
+    assert data["time_reduction_vs_fedavg"] > 0.05
+    # TiFL pays for offline profiling and tiered selection; Aergia should not
+    # be slower than it overall.
+    assert data["time_reduction_vs_tifl"] > 0.0
+    # Accuracy stays in the same ballpark (the scaled-down round budget leaves
+    # all algorithms early in training, so a generous margin is used here; the
+    # accuracy trends are examined dataset-by-dataset in Figures 6 and 7).
+    assert data["accuracy_delta_vs_fedavg"] > -0.25
+    assert data["accuracy_delta_vs_tifl"] > -0.25

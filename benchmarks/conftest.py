@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the
+"bench" scale (override with ``REPRO_SCALE=full`` for paper-sized runs) and
+prints the regenerated rows/series so they can be compared with the paper;
+EXPERIMENTS.md records that comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+# Benchmarks default to the "bench" scale unless the user overrides it.
+os.environ.setdefault("REPRO_SCALE", "bench")
+
+
+@pytest.fixture
+def print_figure(capsys):
+    """Print a figure rendering so it survives pytest's output capturing."""
+
+    def _print(rendering: str) -> None:
+        with capsys.disabled():
+            print()
+            print(rendering)
+            print()
+
+    return _print
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive figure regeneration exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

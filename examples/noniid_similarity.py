@@ -1,0 +1,99 @@
+"""Privacy-preserving dataset similarity and its effect on scheduling.
+
+The federator must not learn the clients' class distributions, yet Aergia's
+scheduler needs to know which clients hold *similar* data so that a
+straggler's feature layers are trained on a compatible dataset.  The paper
+solves this with an Intel SGX enclave; this example walks through the
+reproduction of that flow:
+
+1. partition a synthetic FMNIST dataset non-IID across clients,
+2. attest the (simulated) enclave and submit the encrypted class
+   distributions,
+3. obtain the pair-wise EMD similarity matrix from the enclave,
+4. run Aergia's scheduler with and without the similarity term and show how
+   the offloading targets change.
+
+Run with::
+
+    python examples/noniid_similarity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.enclave import SGXEnclave, seal_distribution
+from repro.core.scheduler import ClientPerformance, schedule_offloading
+from repro.data.datasets import synthetic_fmnist
+from repro.data.partition import partition_noniid_label_skew
+from repro.experiments.report import format_table
+
+
+def main(num_clients: int = 6, verbose: bool = True) -> dict:
+    dataset = synthetic_fmnist(train_size=150 * num_clients, test_size=100, seed=3)
+    partitions = partition_noniid_label_skew(
+        dataset, num_clients, classes_per_client=3, rng=np.random.default_rng(1)
+    )
+
+    # --- Enclave flow: the federator only ever sees the similarity matrix.
+    enclave = SGXEnclave(seed=0)
+    report = enclave.attest()
+    assert report.verify(), "clients refuse to talk to an unattested enclave"
+    for partition in partitions:
+        sealed = seal_distribution(partition.client_id, partition.class_counts, report)
+        enclave.submit_distribution(sealed)
+    similarity = enclave.similarity_matrix()
+
+    # --- A synthetic performance picture: client 0 is the straggler.
+    batch_seconds = [4.0] + [0.5 + 0.05 * i for i in range(1, num_clients)]
+    performances = [
+        ClientPerformance(
+            client_id=i,
+            head_seconds=0.35 * t,
+            tail_seconds=0.65 * t,
+            feature_training_seconds=0.9 * t,
+            remaining_batches=16,
+        )
+        for i, t in enumerate(batch_seconds)
+    ]
+
+    ignore_similarity = schedule_offloading(performances, similarity_factor=0.0)
+    with_similarity = schedule_offloading(
+        performances,
+        similarity=similarity.matrix,
+        similarity_client_ids=list(similarity.client_ids),
+        similarity_factor=2.0,
+    )
+
+    rows = []
+    for label, decision in (("f=0 (ignore data)", ignore_similarity), ("f=2 (use similarity)", with_similarity)):
+        assignment = decision.plan.assignment_for(0)
+        target = assignment.strong_client if assignment else None
+        emd = similarity.value(0, target) if target is not None else float("nan")
+        rows.append([label, target, emd])
+
+    if verbose:
+        print("Class distributions (only the enclave ever sees these):")
+        for partition in partitions:
+            print(f"  client {partition.client_id}: {partition.class_counts.tolist()}")
+        print()
+        print(
+            format_table(
+                headers=["scheduler", "straggler offloads to", "EMD(straggler, target)"],
+                rows=rows,
+                title="Effect of the similarity factor on the offloading target",
+            )
+        )
+        print(
+            "\nWith the similarity term enabled the scheduler prefers a strong client "
+            "whose data distribution is close to the straggler's, at a small cost in "
+            "estimated round time (Figure 9 of the paper quantifies this trade-off)."
+        )
+    return {
+        "without_similarity_target": ignore_similarity.plan.as_dict().get(0),
+        "with_similarity_target": with_similarity.plan.as_dict().get(0),
+    }
+
+
+if __name__ == "__main__":
+    main()

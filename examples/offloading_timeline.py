@@ -1,0 +1,75 @@
+"""Trace one Aergia round in detail (the scenario illustrated in Figure 5).
+
+Four clients participate in a round: two weak (slow CPUs) and two strong.
+The script runs a single Aergia round and prints the timeline of the key
+events — profile reports, scheduling decisions, freeze/offload transfers
+and result submissions — so you can see the choreography of §3.3 and §4.1
+in action.
+
+Run with::
+
+    python examples/offloading_timeline.py
+"""
+
+from __future__ import annotations
+
+from repro.fl import ExperimentConfig
+from repro.fl.config import ResourceConfig
+from repro.fl.messages import MessageKind
+from repro.fl.runtime import build_experiment
+
+
+def main(verbose: bool = True) -> list:
+    config = ExperimentConfig(
+        dataset="mnist",
+        architecture="mnist-cnn",
+        algorithm="aergia",
+        partition="iid",
+        num_clients=4,
+        rounds=1,
+        local_updates=8,
+        profile_batches=2,
+        train_size=400,
+        test_size=100,
+        batch_size=16,
+        resources=ResourceConfig(scheme="explicit", explicit_speeds=(0.12, 0.18, 0.9, 1.0)),
+        seed=21,
+    )
+    handle = build_experiment(config)
+
+    # Wrap the network's send method to record a human-readable timeline.
+    timeline = []
+    network = handle.cluster.network
+    original_send = network.send
+
+    def recording_send(sender, recipient, kind, payload=None, round_number=-1, size_bytes=None):
+        message = original_send(
+            sender, recipient, kind, payload=payload, round_number=round_number, size_bytes=size_bytes
+        )
+        interesting = {
+            MessageKind.PROFILE_REPORT: "profile report",
+            MessageKind.OFFLOAD_INSTRUCTION: "freeze+offload instruction",
+            MessageKind.OFFLOAD_EXPECT: "offload notice",
+            MessageKind.OFFLOADED_MODEL: "frozen model transfer",
+            MessageKind.OFFLOAD_RESULT: "offloaded features returned",
+            MessageKind.TRAIN_RESULT: "local result returned",
+        }
+        if kind in interesting:
+            timeline.append((handle.cluster.env.now, f"{interesting[kind]}: {sender} -> {recipient}"))
+        return message
+
+    network.send = recording_send  # type: ignore[method-assign]
+    result = handle.run()
+
+    if verbose:
+        print("Cluster speeds:", [p.speed_fraction for p in (handle.cluster.profile(i) for i in range(4))])
+        print(f"Round finished at t={result.rounds[-1].end_time:.2f}s "
+              f"with {result.total_offloads()} offload(s).\n")
+        print("Timeline of the round (virtual seconds):")
+        for when, what in timeline:
+            print(f"  t={when:7.2f}s  {what}")
+    return timeline
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Reproduction of "Aergia: Leveraging Heterogeneity in Federated Learning Systems".
+
+This library re-implements the Aergia middleware (Cox, Chen and Decouchant,
+Middleware 2022) and every substrate it depends on as a self-contained,
+pure-Python package:
+
+* :mod:`repro.nn` -- numpy CNN substrate with phase-aware training,
+* :mod:`repro.data` -- synthetic image benchmarks, partitioning, EMD,
+* :mod:`repro.simulation` -- discrete-event heterogeneous cluster simulator,
+* :mod:`repro.fl` -- generic federated-learning runtime,
+* :mod:`repro.baselines` -- FedAvg, FedProx, FedNova, FedSGD, TiFL, deadlines,
+* :mod:`repro.core` -- the Aergia contribution (profiling, freezing,
+  offloading, scheduling, SGX-enclave similarity),
+* :mod:`repro.experiments` -- the harness regenerating every figure and
+  table of the paper's evaluation.
+
+Quickstart::
+
+    from repro.fl import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(algorithm="aergia", num_clients=8, rounds=3)
+    result = run_experiment(config)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,30 @@
+"""Baseline federated-learning algorithms the paper compares against.
+
+The evaluation (§5) compares Aergia to four published systems plus the
+naive deadline-based straggler mitigation used in the motivation figures:
+
+* :mod:`repro.baselines.fedavg` — FedAvg (re-exported from
+  :mod:`repro.fl.federator`, where it doubles as the base implementation),
+* :mod:`repro.baselines.fedprox` — FedProx (proximal local objective),
+* :mod:`repro.baselines.fednova` — FedNova (normalised aggregation),
+* :mod:`repro.baselines.fedsgd` — FedSGD (single-step local updates),
+* :mod:`repro.baselines.tifl` — TiFL (tier-based client selection),
+* :mod:`repro.baselines.deadline` — per-round deadlines that drop late
+  clients (Figures 1(b) and 1(c)).
+"""
+
+from repro.baselines.fedavg import FedAvgFederator
+from repro.baselines.fedprox import FedProxFederator
+from repro.baselines.fednova import FedNovaFederator
+from repro.baselines.fedsgd import FedSGDFederator
+from repro.baselines.tifl import TiFLFederator
+from repro.baselines.deadline import DeadlineFederator
+
+__all__ = [
+    "FedAvgFederator",
+    "FedProxFederator",
+    "FedNovaFederator",
+    "FedSGDFederator",
+    "TiFLFederator",
+    "DeadlineFederator",
+]

@@ -1,0 +1,100 @@
+"""Deadline-based straggler mitigation (the motivation baseline of Figure 1).
+
+The naive way to bound the duration of a round is to impose a deadline:
+clients that have not returned their update when the deadline expires are
+simply excluded from the aggregation.  Figures 1(b) and 1(c) of the paper
+show that this effectively caps the training time but severely degrades
+accuracy, especially with non-IID data — which motivates Aergia's
+freeze-and-offload design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.federator import BaseFederator, RoundState
+from repro.nn.model import SplitCNN
+from repro.simulation.cluster import SimulatedCluster
+
+
+class DeadlineFederator(BaseFederator):
+    """FedAvg with a per-round deadline after which late clients are dropped."""
+
+    algorithm_name = "deadline"
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        config: ExperimentConfig,
+        global_model: SplitCNN,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        client_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(cluster, config, global_model, x_test, y_test, client_ids=client_ids)
+        #: ``None`` means an infinite deadline, i.e. plain FedAvg behaviour.
+        self.deadline_seconds = config.deadline_seconds
+
+    def on_round_started(self, state: RoundState) -> None:
+        if self.deadline_seconds is None:
+            return
+        round_number = state.round_number
+
+        def expire() -> None:
+            self._expire_round(round_number)
+
+        self.env.schedule(self.deadline_seconds, expire)
+
+    def _expire_round(self, round_number: int) -> None:
+        state = self._round_state
+        if state is None or state.finalized or state.round_number != round_number:
+            return
+        missing = [cid for cid in state.selected_clients if cid not in state.results]
+        state.dropped_clients.extend(missing)
+        # Aggregate whatever arrived in time.  If nothing arrived, the global
+        # model is left unchanged for this round (the paper's federator also
+        # keeps the previous model in that case).
+        self._finalize_round(state)
+
+    def round_complete(self, state: RoundState) -> bool:
+        # Without a deadline the behaviour is plain FedAvg; with one, the
+        # round also completes early when every client made it in time.
+        return super().round_complete(state)
+
+    def collect_contributions(self, state: RoundState):
+        contributions = []
+        for client_id in sorted(state.results):
+            if client_id in state.dropped_clients:
+                continue
+            result = state.results[client_id]
+            contributions.append((result.weights, result.num_samples, result.num_steps))
+        return contributions
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of selected clients dropped so far (diagnostics)."""
+        selected = sum(len(r.selected_clients) for r in self.result.rounds)
+        dropped = sum(len(r.dropped_clients) for r in self.result.rounds)
+        return dropped / selected if selected else 0.0
+
+
+def deadline_sweep_values() -> Sequence[Optional[float]]:
+    """The deadline values used by Figures 1(b) and 1(c): ∞, 70, 50, 30, 10 s."""
+    return (None, 70.0, 50.0, 30.0, 10.0)
+
+
+def scaled_deadline(seconds: Optional[float], scale: float) -> Optional[float]:
+    """Scale a paper deadline to the reproduction's virtual-time units."""
+    if seconds is None:
+        return None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return float(seconds) * scale
+
+
+def drop_fraction(results: Sequence[RoundState]) -> float:  # pragma: no cover - helper for notebooks
+    """Fraction of clients dropped across a set of round states."""
+    selected = sum(len(state.selected_clients) for state in results)
+    dropped = sum(len(state.dropped_clients) for state in results)
+    return dropped / selected if selected else 0.0

@@ -1,0 +1,15 @@
+"""FedAvg baseline (McMahan et al., AISTATS 2017).
+
+FedAvg is the reference synchronous algorithm: random client selection,
+multiple local SGD steps per round, and data-size-weighted averaging of the
+client models.  The implementation lives in
+:class:`repro.fl.federator.FedAvgFederator` because every other federator
+specialises it; this module re-exports it so that the baselines package
+presents a uniform surface.
+"""
+
+from __future__ import annotations
+
+from repro.fl.federator import FedAvgFederator
+
+__all__ = ["FedAvgFederator"]

@@ -1,0 +1,34 @@
+"""FedNova baseline (Wang et al., NeurIPS 2020).
+
+FedNova addresses the *objective inconsistency* that arises when clients
+perform different numbers of local steps: clients that run more steps push
+the plain FedAvg average further in their direction.  FedNova normalises
+every client's update by its number of local steps before averaging and
+rescales the aggregate by the effective number of steps
+(:func:`repro.fl.aggregation.fednova_aggregate`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.fl.aggregation import fednova_aggregate
+from repro.fl.federator import BaseFederator, RoundState
+
+Weights = Dict[str, np.ndarray]
+
+
+class FedNovaFederator(BaseFederator):
+    """Federator applying FedNova's normalised aggregation rule."""
+
+    algorithm_name = "fednova"
+
+    def aggregate(
+        self, state: RoundState, contributions: List[Tuple[Weights, int, int]]
+    ) -> Weights:
+        return fednova_aggregate(
+            self.global_weights,
+            [(weights, num_samples, num_steps) for weights, num_samples, num_steps in contributions],
+        )

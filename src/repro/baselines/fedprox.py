@@ -1,0 +1,20 @@
+"""FedProx baseline (Li et al., MLSys 2020).
+
+FedProx keeps FedAvg's server-side behaviour but changes the *local*
+objective: every client minimises its loss plus a proximal term
+``(mu / 2) * ||w - w_global||^2`` that limits how far the local model can
+drift from the global model during a round.  In the reproduction the
+proximal term is applied by :class:`repro.nn.optim.ProximalSGD`, which the
+client selects whenever the experiment's algorithm is ``"fedprox"``; the
+federator itself is therefore identical to FedAvg apart from its name.
+"""
+
+from __future__ import annotations
+
+from repro.fl.federator import BaseFederator
+
+
+class FedProxFederator(BaseFederator):
+    """FedAvg-style federator whose clients train with the proximal term."""
+
+    algorithm_name = "fedprox"

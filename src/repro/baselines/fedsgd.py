@@ -1,0 +1,21 @@
+"""FedSGD baseline (McMahan et al., 2016).
+
+FedSGD is the communication-heavy ancestor of FedAvg: every round each
+selected client performs a *single* local step on its data and the
+federator averages the resulting models (equivalently, the gradients).
+It is included for completeness of the background section (§2.2); the
+paper's evaluation focuses on the multi-step algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.fl.federator import BaseFederator
+
+
+class FedSGDFederator(BaseFederator):
+    """FedAvg with exactly one local update per client per round."""
+
+    algorithm_name = "fedsgd"
+
+    def total_batches_for(self, client_id: int, round_number: int) -> int:
+        return 1

@@ -1,0 +1,68 @@
+"""Aergia: the paper's primary contribution.
+
+This package implements everything that distinguishes Aergia from a plain
+synchronous federated-learning system:
+
+* :mod:`repro.core.profiler` — the online profiler measuring the four
+  training phases during the first local updates of a round (§4.2),
+* :mod:`repro.core.freezing` — model freezing and model splitting/
+  recombination utilities (§4.1),
+* :mod:`repro.core.offloading` — the offload task descriptions exchanged
+  between weak and strong clients,
+* :mod:`repro.core.scheduler` — Algorithm 1 (freeze/offload scheduling)
+  and Algorithm 2 (optimal offloading point),
+* :mod:`repro.core.similarity` — dataset-similarity computation based on
+  the Earth Mover's Distance (§4.4),
+* :mod:`repro.core.enclave` — a simulated Intel SGX enclave enforcing that
+  raw client class distributions never reach the federator,
+* :mod:`repro.core.aergia` — the Aergia federator strategy tying
+  everything together (imported lazily to avoid import cycles with
+  :mod:`repro.fl`).
+"""
+
+from repro.core.profiler import OnlineProfiler, PhaseProfile, profile_model_phases
+from repro.core.freezing import (
+    split_weights,
+    merge_weights,
+    recombine_offloaded_model,
+    FrozenModelPackage,
+)
+from repro.core.offloading import OffloadAssignment, OffloadPlan
+from repro.core.scheduler import (
+    ClientPerformance,
+    SchedulerDecision,
+    calc_op,
+    schedule_offloading,
+)
+from repro.core.similarity import compute_similarity_matrix
+from repro.core.enclave import SGXEnclave, EnclaveError, AttestationReport
+
+__all__ = [
+    "OnlineProfiler",
+    "PhaseProfile",
+    "profile_model_phases",
+    "split_weights",
+    "merge_weights",
+    "recombine_offloaded_model",
+    "FrozenModelPackage",
+    "OffloadAssignment",
+    "OffloadPlan",
+    "ClientPerformance",
+    "SchedulerDecision",
+    "calc_op",
+    "schedule_offloading",
+    "compute_similarity_matrix",
+    "SGXEnclave",
+    "EnclaveError",
+    "AttestationReport",
+    "AergiaFederator",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose the Aergia federator to avoid an import cycle with repro.fl."""
+    if name == "AergiaFederator":
+        from repro.core.aergia import AergiaFederator
+
+        return AergiaFederator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

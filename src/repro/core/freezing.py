@@ -1,0 +1,111 @@
+"""Model freezing, splitting and recombination (§4.1 of the paper).
+
+A weak client that offloads its training freezes its feature
+(convolutional) layers, ships the model to a strong client, and keeps
+training only its classifier layers.  The strong client trains the frozen
+feature layers on its own dataset.  At aggregation time the federator
+recombines the two halves: feature layers from the strong client,
+classifier layers from the weak client.
+
+The helpers in this module operate on the flat weight dictionaries produced
+by :meth:`repro.nn.model.SplitCNN.get_weights`, whose keys are prefixed
+with ``"features."`` or ``"classifier."``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn.model import SplitCNN
+
+Weights = Dict[str, np.ndarray]
+
+
+def split_weights(weights: Weights) -> Tuple[Weights, Weights]:
+    """Split a flat weight dictionary into (feature, classifier) parts."""
+    features: Weights = {}
+    classifier: Weights = {}
+    for key, value in weights.items():
+        if key.startswith(SplitCNN.FEATURE_PREFIX + "."):
+            features[key] = value
+        elif key.startswith(SplitCNN.CLASSIFIER_PREFIX + "."):
+            classifier[key] = value
+        else:
+            raise KeyError(f"weight key {key!r} belongs to neither section")
+    return features, classifier
+
+
+def merge_weights(feature_weights: Weights, classifier_weights: Weights) -> Weights:
+    """Merge feature and classifier weights back into one dictionary.
+
+    Raises if the two parts overlap or if either contains keys from the
+    wrong section, which would indicate a recombination bug.
+    """
+    for key in feature_weights:
+        if not key.startswith(SplitCNN.FEATURE_PREFIX + "."):
+            raise KeyError(f"{key!r} is not a feature weight")
+    for key in classifier_weights:
+        if not key.startswith(SplitCNN.CLASSIFIER_PREFIX + "."):
+            raise KeyError(f"{key!r} is not a classifier weight")
+    merged: Weights = {}
+    merged.update(feature_weights)
+    merged.update(classifier_weights)
+    return merged
+
+
+def recombine_offloaded_model(
+    weak_client_weights: Weights, strong_client_feature_weights: Weights
+) -> Weights:
+    """Reconstruct a weak client's contribution after offloading.
+
+    The classifier layers come from the weak client (which kept training
+    them locally); the feature layers come from the strong client that
+    trained them on its own dataset (§3.3 "Model aggregation").
+    """
+    _, classifier = split_weights(weak_client_weights)
+    features, extra_classifier = split_weights(strong_client_feature_weights)
+    if extra_classifier:
+        # The strong client only returns feature layers; any classifier keys
+        # in its payload are ignored in favour of the weak client's.
+        pass
+    if not features:
+        raise ValueError("strong client payload contains no feature weights")
+    return merge_weights(features, classifier)
+
+
+@dataclass
+class FrozenModelPackage:
+    """The payload a weak client ships to its matched strong client.
+
+    Attributes
+    ----------
+    source_client_id:
+        The weak client that froze and offloaded its model.
+    round_number:
+        Global round the offload belongs to (stale packages are ignored).
+    weights:
+        Full model weights at the moment of freezing — the strong client
+        needs both sections: it trains the features and keeps the classifier
+        fixed to compute gradients.
+    batches_to_train:
+        Number of local batch updates the strong client should run on the
+        offloaded feature layers (the ``op`` output of Algorithm 2).
+    """
+
+    source_client_id: int
+    round_number: int
+    weights: Weights = field(repr=False)
+    batches_to_train: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batches_to_train < 0:
+            raise ValueError("batches_to_train cannot be negative")
+        if not self.weights:
+            raise ValueError("an offloaded package must contain model weights")
+
+    def payload_bytes(self) -> float:
+        """Size of the package on the wire (charged by the network model)."""
+        return float(sum(array.nbytes for array in self.weights.values()))

@@ -1,0 +1,108 @@
+"""Class-distribution vectors and Earth Mover's Distance similarity.
+
+The paper (§2.3, §4.4) measures the heterogeneity of client datasets with
+the Earth Mover's Distance (EMD) between their class distributions and uses
+pair-wise similarities — computed privately inside an SGX enclave — to
+refine the freeze/offload schedule.  This module provides the numerical
+side of that computation; :mod:`repro.core.enclave` provides the trusted
+execution boundary around it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def class_distribution(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Count the number of samples of each class.
+
+    This is the "number of labels per class" vector that clients encrypt
+    and send to the federator's enclave.
+    """
+    if num_classes < 1:
+        raise ValueError("num_classes must be at least 1")
+    labels = np.asarray(labels)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels outside [0, num_classes)")
+    return np.bincount(labels, minlength=num_classes).astype(np.float64)
+
+
+def normalized_class_distribution(counts: np.ndarray) -> np.ndarray:
+    """Normalise a class-count vector into a probability distribution.
+
+    An all-zero vector (a client with no data) maps to the uniform
+    distribution, which makes it maximally "average" rather than undefined.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return np.full(counts.shape, 1.0 / counts.size)
+    return counts / total
+
+
+def earth_movers_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Earth Mover's Distance between two distributions over the same classes.
+
+    For one-dimensional histograms over a common, equally spaced support the
+    EMD reduces to the L1 distance between cumulative distributions
+    (normalised here to [0, 1] by dividing by the number of classes so the
+    value is comparable across datasets with different class counts).
+    """
+    p = normalized_class_distribution(np.asarray(p, dtype=np.float64))
+    q = normalized_class_distribution(np.asarray(q, dtype=np.float64))
+    if p.shape != q.shape:
+        raise ValueError(f"distribution shapes differ: {p.shape} vs {q.shape}")
+    cdf_diff = np.cumsum(p - q)
+    return float(np.abs(cdf_diff).sum() / p.size)
+
+
+def similarity_matrix(
+    class_counts: Sequence[np.ndarray], metric: str = "emd"
+) -> np.ndarray:
+    """Pair-wise dataset dissimilarity matrix ``S`` used by Algorithm 1.
+
+    ``S[i, j]`` is the EMD between the class distributions of clients ``i``
+    and ``j``; lower values mean more similar datasets, which matches the
+    cost function of Algorithm 1 (line 24) where a *smaller* ``S`` makes an
+    offloading target cheaper.  The matrix is symmetric with a zero
+    diagonal.
+
+    Parameters
+    ----------
+    class_counts:
+        One class-count vector per client.
+    metric:
+        Only ``"emd"`` is supported; the parameter exists so alternative
+        privacy-preserving similarity measures can be plugged in later.
+    """
+    if metric != "emd":
+        raise ValueError(f"unsupported similarity metric {metric!r}")
+    num_clients = len(class_counts)
+    matrix = np.zeros((num_clients, num_clients), dtype=np.float64)
+    distributions = [normalized_class_distribution(c) for c in class_counts]
+    for i in range(num_clients):
+        for j in range(i + 1, num_clients):
+            distance = earth_movers_distance(distributions[i], distributions[j])
+            matrix[i, j] = distance
+            matrix[j, i] = distance
+    return matrix
+
+
+def heterogeneity_index(
+    class_counts: Sequence[np.ndarray], reference: Optional[np.ndarray] = None
+) -> float:
+    """Average EMD of client distributions to the global (or given) reference.
+
+    This is the dataset-level heterogeneity measure discussed in §2.3: the
+    higher the average EMD, the more non-IID the partition.
+    """
+    if not class_counts:
+        raise ValueError("need at least one client distribution")
+    counts = [np.asarray(c, dtype=np.float64) for c in class_counts]
+    if reference is None:
+        reference = np.sum(counts, axis=0)
+    return float(
+        np.mean([earth_movers_distance(c, reference) for c in counts])
+    )

@@ -1,0 +1,72 @@
+"""Mini-batch iteration over a client's local dataset."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class BatchLoader:
+    """Deterministic, reshuffling mini-batch loader.
+
+    Mirrors the behaviour of a PyTorch ``DataLoader`` with
+    ``shuffle=True, drop_last=False``: every epoch visits all samples once
+    in a fresh random order.  The loader owns its random generator so that
+    per-client shuffling is reproducible and independent across clients.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"x and y disagree on sample count: {x.shape[0]} vs {y.shape[0]}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+        self._order = np.arange(x.shape[0])
+        self._cursor = 0
+        if self.shuffle and x.shape[0]:
+            self._rng.shuffle(self._order)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        n = self.x.shape[0]
+        return int(np.ceil(n / self.batch_size)) if n else 0
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.x.shape[0])
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the next mini-batch, reshuffling at epoch boundaries."""
+        n = self.x.shape[0]
+        if n == 0:
+            raise ValueError("cannot draw batches from an empty dataset")
+        if self._cursor >= n:
+            self._cursor = 0
+            if self.shuffle:
+                self._rng.shuffle(self._order)
+        idx = self._order[self._cursor : self._cursor + self.batch_size]
+        self._cursor += self.batch_size
+        return self.x[idx], self.y[idx]
+
+    def epoch(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate over exactly one epoch of batches."""
+        for _ in range(len(self)):
+            yield self.next_batch()
+
+    def batches_per_epochs(self, epochs: int) -> int:
+        """Total number of batches needed to train for ``epochs`` epochs."""
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        return len(self) * epochs

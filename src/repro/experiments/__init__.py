@@ -1,0 +1,32 @@
+"""Experiment harness regenerating every figure and table of the paper.
+
+Each ``figure*`` function in :mod:`repro.experiments.figures` runs the
+workload behind one figure of the paper's evaluation (scaled down to sizes
+a pure-numpy reproduction can execute in seconds — see EXPERIMENTS.md for
+the exact scaling) and returns the same rows/series the paper reports.
+The benchmark suite under ``benchmarks/`` calls these functions and prints
+their renderings.
+"""
+
+from repro.experiments.workloads import (
+    ScaleProfile,
+    SCALES,
+    baseline_algorithms,
+    evaluation_config,
+    scale_from_env,
+)
+from repro.experiments.runner import run_configs, SuiteResult
+from repro.experiments.report import format_table, table1_comparison, render_table1
+
+__all__ = [
+    "ScaleProfile",
+    "SCALES",
+    "baseline_algorithms",
+    "evaluation_config",
+    "scale_from_env",
+    "run_configs",
+    "SuiteResult",
+    "format_table",
+    "table1_comparison",
+    "render_table1",
+]

@@ -1,0 +1,61 @@
+"""Helpers for running batches of experiment configurations."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.metrics import ExperimentResult
+from repro.fl.runtime import run_experiment
+
+
+@dataclass
+class SuiteResult:
+    """Results of a batch of experiments, keyed by a caller-chosen label."""
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    wall_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, label: str) -> ExperimentResult:
+        return self.results[label]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.results
+
+    def labels(self) -> Iterable[str]:
+        return self.results.keys()
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """Flat per-label summaries (the rows most figures report)."""
+        return {label: result.summary() for label, result in self.results.items()}
+
+    def total_wall_seconds(self) -> float:
+        return float(sum(self.wall_seconds.values()))
+
+
+def run_configs(
+    configs: Mapping[str, ExperimentConfig],
+    progress: Optional[Callable[[str, ExperimentResult], None]] = None,
+) -> SuiteResult:
+    """Run every configuration in ``configs`` and collect the results.
+
+    Parameters
+    ----------
+    configs:
+        Mapping from a label (e.g. ``"aergia"`` or ``"deadline=30"``) to the
+        experiment configuration to run.
+    progress:
+        Optional callback invoked after each experiment with the label and
+        its result — handy for long sweeps.
+    """
+    suite = SuiteResult()
+    for label, config in configs.items():
+        start = time.perf_counter()
+        result = run_experiment(config)
+        suite.results[label] = result
+        suite.wall_seconds[label] = time.perf_counter() - start
+        if progress is not None:
+            progress(label, result)
+    return suite

@@ -1,0 +1,45 @@
+"""Federated-learning runtime built on the cluster simulator.
+
+This package provides the generic federated-learning machinery shared by
+Aergia and all baselines:
+
+* :mod:`repro.fl.config` — experiment configuration dataclasses,
+* :mod:`repro.fl.messages` — message kinds exchanged between nodes,
+* :mod:`repro.fl.metrics` — round records and experiment results,
+* :mod:`repro.fl.aggregation` — FedAvg and FedNova aggregation rules,
+* :mod:`repro.fl.selection` — client-selection policies,
+* :mod:`repro.fl.client` — the client actor (local training, profiling,
+  freezing and offloading mechanics),
+* :mod:`repro.fl.federator` — the synchronous federator base class,
+* :mod:`repro.fl.runtime` — glue that builds a cluster, partitions data,
+  instantiates clients and a federator, and runs an experiment end to end.
+"""
+
+from repro.fl.config import ExperimentConfig, ResourceConfig
+from repro.fl.messages import MessageKind, ProfileReport, TrainingResult
+from repro.fl.metrics import RoundRecord, ExperimentResult
+from repro.fl.aggregation import fedavg_aggregate, fednova_aggregate, weighted_average
+from repro.fl.selection import select_random, select_all
+from repro.fl.client import FLClient
+from repro.fl.federator import BaseFederator, FedAvgFederator
+from repro.fl.runtime import build_experiment, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ResourceConfig",
+    "MessageKind",
+    "ProfileReport",
+    "TrainingResult",
+    "RoundRecord",
+    "ExperimentResult",
+    "fedavg_aggregate",
+    "fednova_aggregate",
+    "weighted_average",
+    "select_random",
+    "select_all",
+    "FLClient",
+    "BaseFederator",
+    "FedAvgFederator",
+    "build_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,117 @@
+"""Model aggregation rules.
+
+Two aggregation rules from the paper's evaluation are implemented:
+
+* **FedAvg** (McMahan et al.) — the weighted average of client weights,
+  with weights proportional to the clients' local dataset sizes.  Used by
+  FedAvg, FedProx, TiFL, the deadline baseline and Aergia.
+* **FedNova** (Wang et al.) — normalised averaging that removes the
+  objective inconsistency caused by clients performing different numbers
+  of local steps: each client's *update direction* is normalised by its
+  number of steps before averaging, and the average direction is rescaled
+  by the effective number of steps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+Weights = Dict[str, np.ndarray]
+
+
+def weighted_average(weight_sets: Sequence[Weights], coefficients: Sequence[float]) -> Weights:
+    """Coefficient-weighted average of several weight dictionaries.
+
+    Coefficients are normalised to sum to one.  All weight sets must share
+    the same keys and shapes.
+    """
+    if not weight_sets:
+        raise ValueError("cannot average an empty list of weight sets")
+    if len(weight_sets) != len(coefficients):
+        raise ValueError("weight_sets and coefficients must have the same length")
+    total = float(sum(coefficients))
+    if total <= 0:
+        raise ValueError("coefficients must sum to a positive value")
+    keys = set(weight_sets[0].keys())
+    for weights in weight_sets[1:]:
+        if set(weights.keys()) != keys:
+            raise ValueError("all weight sets must have identical keys")
+
+    averaged: Weights = {}
+    for key in weight_sets[0]:
+        accumulator = np.zeros_like(weight_sets[0][key])
+        for weights, coefficient in zip(weight_sets, coefficients):
+            accumulator += (coefficient / total) * weights[key]
+        averaged[key] = accumulator
+    return averaged
+
+
+def fedavg_aggregate(updates: Sequence[Tuple[Weights, int]]) -> Weights:
+    """FedAvg: average client weights proportionally to their dataset sizes.
+
+    Parameters
+    ----------
+    updates:
+        Sequence of ``(weights, num_samples)`` pairs.
+    """
+    if not updates:
+        raise ValueError("FedAvg needs at least one client update")
+    weight_sets = [weights for weights, _ in updates]
+    sizes = [float(max(num_samples, 0)) for _, num_samples in updates]
+    if sum(sizes) <= 0:
+        sizes = [1.0] * len(updates)
+    return weighted_average(weight_sets, sizes)
+
+
+def fednova_aggregate(
+    global_weights: Weights,
+    updates: Sequence[Tuple[Weights, int, int]],
+) -> Weights:
+    """FedNova: normalised averaging of client updates.
+
+    Parameters
+    ----------
+    global_weights:
+        The global model the clients started the round from.
+    updates:
+        Sequence of ``(weights, num_samples, num_steps)`` triples, where
+        ``num_steps`` is the number of local optimisation steps the client
+        actually performed.
+
+    Notes
+    -----
+    With ``d_k = (w_global - w_k) / tau_k`` the normalised update direction
+    of client ``k`` and ``p_k`` the data-size weights, the new global model
+    is ``w_global - tau_eff * sum_k p_k d_k`` with
+    ``tau_eff = sum_k p_k tau_k``.  When every client performs the same
+    number of steps this reduces exactly to FedAvg.
+    """
+    if not updates:
+        raise ValueError("FedNova needs at least one client update")
+    sizes = np.array([float(max(num_samples, 0)) for _, num_samples, _ in updates])
+    if sizes.sum() <= 0:
+        sizes = np.ones(len(updates))
+    p = sizes / sizes.sum()
+    taus = np.array([float(max(num_steps, 1)) for _, _, num_steps in updates])
+    tau_eff = float(np.sum(p * taus))
+
+    new_weights: Weights = {}
+    for key, global_value in global_weights.items():
+        direction = np.zeros_like(global_value)
+        for (weights, _, _), p_k, tau_k in zip(updates, p, taus):
+            direction += p_k * (global_value - weights[key]) / tau_k
+        new_weights[key] = global_value - tau_eff * direction
+    return new_weights
+
+
+def average_metric(values: Sequence[float], sizes: Sequence[float]) -> float:
+    """Data-size weighted average of a scalar metric (e.g. local losses)."""
+    if not values:
+        return 0.0
+    sizes = [max(float(s), 0.0) for s in sizes]
+    total = sum(sizes)
+    if total <= 0:
+        return float(np.mean(values))
+    return float(sum(v * s for v, s in zip(values, sizes)) / total)

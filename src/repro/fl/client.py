@@ -1,0 +1,377 @@
+"""The federated-learning client actor.
+
+A client owns a private slice of the training data, a local copy of the
+model, a resource profile (its simulated CPU speed) and a local clock.  It
+reacts to messages from the federator and from other clients:
+
+* ``TRAIN_REQUEST`` — start local training for a round: run the online
+  profiler over the first ``P`` batches (when the federator asked for
+  reports), report the measurements, and keep training;
+* ``OFFLOAD_INSTRUCTION`` — freeze the feature layers at the next batch
+  boundary once only the offloaded updates remain, ship the model to the
+  designated strong client, and continue training the classifier only;
+* ``OFFLOAD_EXPECT`` — reserve capacity for an incoming offloaded model by
+  giving up the corresponding number of own local updates (the scheduler's
+  estimate in Algorithm 2 assumes exactly this);
+* ``OFFLOADED_MODEL`` — after finishing its own updates, train the frozen
+  feature layers of the received model on the *local* dataset and return
+  them to the federator.
+
+Every batch is a real numpy gradient step; its *duration* is charged to
+virtual time through the cluster's cost model, which is how the
+reproduction recreates heterogeneous training speeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.freezing import FrozenModelPackage, split_weights
+from repro.core.profiler import OnlineProfiler
+from repro.data.loader import BatchLoader
+from repro.fl.config import ExperimentConfig
+from repro.fl.messages import MessageKind, OffloadResult, ProfileReport, TrainingResult
+from repro.nn.model import Phase, SplitCNN
+from repro.nn.optim import Optimizer, ProximalSGD, SGD
+from repro.simulation.cluster import FEDERATOR_ID, SimulatedCluster
+from repro.simulation.network import Message
+
+
+class FLClient:
+    """A simulated federated-learning client node."""
+
+    def __init__(
+        self,
+        client_id: int,
+        cluster: SimulatedCluster,
+        model: SplitCNN,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        config: ExperimentConfig,
+        class_counts: Optional[np.ndarray] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.config = config
+        self.cluster = cluster
+        self.env = cluster.env
+        self.network = cluster.network
+        self.cost_model = cluster.cost_model
+        self.resource = cluster.profile(client_id)
+        self.clock = cluster.nodes[client_id].clock
+
+        self.model = model
+        self.loader = BatchLoader(
+            x_train, y_train, batch_size=config.batch_size, seed=config.seed * 10_007 + client_id
+        )
+        self.class_counts = class_counts
+        self.optimizer: Optimizer = self._build_optimizer()
+
+        self.network.register(client_id, self.handle_message)
+
+        # Round state (reset at every TRAIN_REQUEST).
+        self._round: Optional[int] = None
+        self._total_batches = 0
+        self._give_up_batches = 0
+        self._profile_batches = 0
+        self._report_profile = False
+        self._batches_done = 0
+        self._losses: List[float] = []
+        self._profiler = OnlineProfiler()
+        self._profile_sent = False
+        self._offload_target: Optional[int] = None
+        self._offload_budget = 0
+        self._has_offloaded = False
+        self._own_training_done = False
+        self._result_sent = False
+        self._incoming_package: Optional[FrozenModelPackage] = None
+        self._offload_model: Optional[SplitCNN] = None
+        self._offload_batches_done = 0
+        self._offload_training_active = False
+
+        # Lifetime statistics (used by tests and reports).
+        self.rounds_participated = 0
+        self.total_batches_trained = 0
+        self.total_offloads_sent = 0
+        self.total_offloads_trained = 0
+
+    # ------------------------------------------------------------------ setup
+    def _build_optimizer(self) -> Optimizer:
+        if self.config.algorithm == "fedprox":
+            return ProximalSGD(
+                lr=self.config.learning_rate,
+                mu=self.config.fedprox_mu,
+                momentum=self.config.momentum,
+                weight_decay=self.config.weight_decay,
+            )
+        return SGD(
+            lr=self.config.learning_rate,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+
+    @property
+    def num_samples(self) -> int:
+        """Size of the client's local training set."""
+        return self.loader.num_samples
+
+    # --------------------------------------------------------------- messaging
+    def handle_message(self, message: Message) -> None:
+        """Entry point for all messages delivered by the network."""
+        if message.kind == MessageKind.TRAIN_REQUEST:
+            self._start_round(message)
+        elif message.kind == MessageKind.OFFLOAD_INSTRUCTION:
+            self._handle_offload_instruction(message)
+        elif message.kind == MessageKind.OFFLOAD_EXPECT:
+            self._handle_offload_expect(message)
+        elif message.kind == MessageKind.OFFLOADED_MODEL:
+            self._handle_offloaded_model(message)
+        # Unknown kinds are ignored: the paper's clients drop messages they
+        # do not understand or that belong to past rounds.
+
+    def _stale(self, message: Message) -> bool:
+        """Whether a control message belongs to a round other than the current one."""
+        return self._round is None or message.round_number != self._round
+
+    # ------------------------------------------------------------ round start
+    def _start_round(self, message: Message) -> None:
+        payload = message.payload
+        self._round = message.round_number
+        self._total_batches = int(payload["total_batches"])
+        self._profile_batches = int(payload.get("profile_batches", 0))
+        self._report_profile = bool(payload.get("report_profile", False))
+        self._give_up_batches = 0
+        self._batches_done = 0
+        self._losses = []
+        self._profiler.reset()
+        if self._profile_batches == 0:
+            self._profiler.stop()
+        self._profile_sent = False
+        self._offload_target = None
+        self._offload_budget = 0
+        self._has_offloaded = False
+        self._own_training_done = False
+        self._result_sent = False
+        self._incoming_package = None
+        self._offload_batches_done = 0
+        self._offload_training_active = False
+
+        self.model.unfreeze_features()
+        self.model.unfreeze_classifier()
+        self.model.set_weights(payload["weights"])
+        self.optimizer.reset_state()
+        if isinstance(self.optimizer, ProximalSGD):
+            self.optimizer.set_anchor(payload["weights"])
+
+        self.rounds_participated += 1
+        self._train_own_batch()
+
+    # ---------------------------------------------------------- local training
+    def _effective_total_batches(self) -> int:
+        """Own updates to perform, after giving up capacity for offloaded work."""
+        return max(self._total_batches - self._give_up_batches, self._batches_done)
+
+    def _train_own_batch(self) -> None:
+        xb, yb = self.loader.next_batch()
+        loss, trace = self.model.train_batch(xb, yb, self.optimizer)
+        phase_durations = self.cost_model.phase_seconds(trace, self.resource, self.env.now)
+        if self.model.features_frozen:
+            duration = self.cost_model.frozen_batch_seconds(trace, self.resource, self.env.now)
+        else:
+            duration = self.cost_model.batch_seconds(trace, self.resource, self.env.now)
+        if self._profiler.active:
+            measured = {
+                phase: self.clock.measure(seconds) for phase, seconds in phase_durations.items()
+            }
+            duration += self._profiler.record_batch(measured)
+        self.env.schedule(duration, lambda: self._on_own_batch_done(loss))
+
+    def _on_own_batch_done(self, loss: float) -> None:
+        self._batches_done += 1
+        self.total_batches_trained += 1
+        self._losses.append(loss)
+
+        if (
+            self._profiler.active
+            and self._profiler.batches_recorded >= self._profile_batches
+        ):
+            self._profiler.stop()
+            if self._report_profile and not self._profile_sent:
+                self._send_profile_report()
+
+        self._maybe_freeze_and_offload()
+
+        if self._batches_done < self._effective_total_batches():
+            self._train_own_batch()
+        else:
+            self._finish_own_training()
+
+    def _send_profile_report(self) -> None:
+        profile = self._profiler.profile()
+        report = ProfileReport(
+            client_id=self.client_id,
+            round_number=self._round if self._round is not None else -1,
+            phase_seconds=dict(profile.phase_seconds),
+            batches_measured=profile.batches_measured,
+            batches_completed=self._batches_done,
+            remaining_batches=max(self._total_batches - self._batches_done, 0),
+        )
+        self._profile_sent = True
+        self.network.send(
+            self.client_id,
+            FEDERATOR_ID,
+            MessageKind.PROFILE_REPORT,
+            payload=report,
+            round_number=report.round_number,
+        )
+
+    # -------------------------------------------------------------- offloading
+    def _handle_offload_instruction(self, message: Message) -> None:
+        if self._stale(message):
+            return
+        payload = message.payload
+        self._offload_target = int(payload["target"])
+        self._offload_budget = int(payload["offload_batches"])
+        # The instruction may arrive while the client is between batches (its
+        # next completion event is already scheduled); freezing happens at the
+        # next batch boundary via _maybe_freeze_and_offload.  If the client
+        # already finished its own training, offloading no longer helps and
+        # the instruction is ignored.
+        if not self._own_training_done:
+            self._maybe_freeze_and_offload()
+
+    def _handle_offload_expect(self, message: Message) -> None:
+        if self._stale(message):
+            return
+        self._give_up_batches = int(message.payload["offload_batches"])
+
+    def _maybe_freeze_and_offload(self) -> None:
+        if (
+            self._offload_target is None
+            or self._has_offloaded
+            or self._own_training_done
+            or self._offload_budget <= 0
+        ):
+            return
+        remaining = self._total_batches - self._batches_done
+        if remaining <= 0 or remaining > self._offload_budget:
+            return
+        # Freeze the feature layers and ship the model to the strong client.
+        package = FrozenModelPackage(
+            source_client_id=self.client_id,
+            round_number=self._round if self._round is not None else -1,
+            weights=self.model.get_weights(),
+            batches_to_train=remaining,
+        )
+        self.network.send(
+            self.client_id,
+            self._offload_target,
+            MessageKind.OFFLOADED_MODEL,
+            payload=package,
+            round_number=package.round_number,
+            size_bytes=package.payload_bytes(),
+        )
+        self.model.freeze_features()
+        self._has_offloaded = True
+        self.total_offloads_sent += 1
+
+    def _handle_offloaded_model(self, message: Message) -> None:
+        if self._stale(message):
+            return
+        self._incoming_package = message.payload
+        if self._own_training_done and not self._offload_training_active:
+            self._start_offloaded_training()
+
+    # --------------------------------------------------------------- completion
+    def _finish_own_training(self) -> None:
+        if self._own_training_done:
+            return
+        self._own_training_done = True
+        result = TrainingResult(
+            client_id=self.client_id,
+            round_number=self._round if self._round is not None else -1,
+            weights=self.model.get_weights(),
+            num_samples=self.num_samples,
+            num_steps=self._batches_done,
+            train_loss=float(np.mean(self._losses)) if self._losses else 0.0,
+            features_frozen=self.model.features_frozen,
+            offloaded_to=self._offload_target if self._has_offloaded else None,
+            finished_at=self.env.now,
+        )
+        self._result_sent = True
+        self.network.send(
+            self.client_id,
+            FEDERATOR_ID,
+            MessageKind.TRAIN_RESULT,
+            payload=result,
+            round_number=result.round_number,
+            size_bytes=float(sum(a.nbytes for a in result.weights.values())),
+        )
+        if self._incoming_package is not None and not self._offload_training_active:
+            self._start_offloaded_training()
+
+    # ------------------------------------------------- offloaded model training
+    def _start_offloaded_training(self) -> None:
+        package = self._incoming_package
+        if package is None:
+            return
+        self._offload_training_active = True
+        self._offload_batches_done = 0
+        if self._offload_model is None:
+            self._offload_model = self.model.clone_architecture()
+        self._offload_model.set_weights(package.weights)
+        self._offload_model.unfreeze_features()
+        self._offload_model.freeze_classifier()
+        self._offload_optimizer = SGD(
+            lr=self.config.learning_rate,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self._train_offloaded_batch()
+
+    def _train_offloaded_batch(self) -> None:
+        package = self._incoming_package
+        model = self._offload_model
+        if package is None or model is None:  # pragma: no cover - defensive
+            return
+        xb, yb = self.loader.next_batch()
+        _, trace = model.train_batch(xb, yb, self._offload_optimizer)
+        duration = self.cost_model.feature_training_seconds(trace, self.resource, self.env.now)
+        self.env.schedule(duration, self._on_offloaded_batch_done)
+
+    def _on_offloaded_batch_done(self) -> None:
+        package = self._incoming_package
+        if package is None:  # pragma: no cover - defensive
+            return
+        self._offload_batches_done += 1
+        if self._offload_batches_done < package.batches_to_train:
+            self._train_offloaded_batch()
+        else:
+            self._finish_offloaded_training()
+
+    def _finish_offloaded_training(self) -> None:
+        package = self._incoming_package
+        model = self._offload_model
+        if package is None or model is None:  # pragma: no cover - defensive
+            return
+        feature_weights, _ = split_weights(model.get_weights())
+        result = OffloadResult(
+            source_client_id=package.source_client_id,
+            trainer_client_id=self.client_id,
+            round_number=package.round_number,
+            feature_weights=feature_weights,
+            batches_trained=self._offload_batches_done,
+            finished_at=self.env.now,
+        )
+        self.total_offloads_trained += 1
+        self._offload_training_active = False
+        self._incoming_package = None
+        self.network.send(
+            self.client_id,
+            FEDERATOR_ID,
+            MessageKind.OFFLOAD_RESULT,
+            payload=result,
+            round_number=result.round_number,
+            size_bytes=float(sum(a.nbytes for a in feature_weights.values())),
+        )

@@ -1,0 +1,135 @@
+"""Experiment configuration dataclasses.
+
+A single :class:`ExperimentConfig` describes everything needed to run one
+federated-learning experiment: the dataset and model, the client
+population and its heterogeneity, the training hyper-parameters, and the
+algorithm-specific knobs of the baselines and of Aergia.  The experiment
+harness (:mod:`repro.experiments`) builds these configs for every figure
+and table of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence
+
+
+@dataclass
+class ResourceConfig:
+    """How client compute speeds are generated.
+
+    Attributes
+    ----------
+    scheme:
+        ``"uniform"`` (the paper's default: speeds uniform in
+        [``low``, ``high``]), ``"variance"`` (controlled mean/variance,
+        used by Figure 1(a)), ``"tiers"`` (discrete weak/medium/strong) or
+        ``"explicit"`` (speeds given directly).
+    """
+
+    scheme: str = "uniform"
+    low: float = 0.1
+    high: float = 1.0
+    mean: float = 0.5
+    variance: float = 0.1
+    tiers: Sequence[float] = (0.25, 0.5, 1.0)
+    explicit_speeds: Optional[Sequence[float]] = None
+    base_flops_per_second: float = 2.0e9
+
+    def __post_init__(self) -> None:
+        valid = {"uniform", "variance", "tiers", "explicit"}
+        if self.scheme not in valid:
+            raise ValueError(f"unknown resource scheme {self.scheme!r}; valid: {sorted(valid)}")
+        if self.scheme == "explicit" and not self.explicit_speeds:
+            raise ValueError("explicit resource scheme requires explicit_speeds")
+
+
+@dataclass
+class ExperimentConfig:
+    """Full description of one federated-learning experiment.
+
+    The defaults are scaled-down relative to the paper (smaller synthetic
+    datasets, fewer local updates and rounds) so that a pure-numpy
+    reproduction completes in seconds; the experiment harness documents the
+    scaling in EXPERIMENTS.md.
+    """
+
+    # Workload
+    dataset: str = "mnist"
+    architecture: str = "mnist-cnn"
+    train_size: int = 2400
+    test_size: int = 600
+    partition: str = "iid"
+    classes_per_client: int = 3
+    dirichlet_alpha: float = 0.5
+
+    # Federation
+    num_clients: int = 8
+    clients_per_round: Optional[int] = None  # None -> all clients every round
+    rounds: int = 5
+    local_updates: int = 16
+    profile_batches: int = 4
+    batch_size: int = 32
+
+    # Optimisation
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+
+    # Algorithm-specific knobs
+    algorithm: str = "fedavg"
+    fedprox_mu: float = 0.05
+    deadline_seconds: Optional[float] = None
+    tifl_num_tiers: int = 3
+    aergia_similarity_factor: float = 1.0
+
+    # Heterogeneity
+    resources: ResourceConfig = field(default_factory=ResourceConfig)
+    network_latency_s: float = 0.01
+    network_bandwidth_bytes_per_s: float = 125e6
+
+    # Reproducibility
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be at least 1")
+        if self.clients_per_round is not None and not 1 <= self.clients_per_round <= self.num_clients:
+            raise ValueError("clients_per_round must be in [1, num_clients]")
+        if self.rounds < 1:
+            raise ValueError("rounds must be at least 1")
+        if self.local_updates < 1:
+            raise ValueError("local_updates must be at least 1")
+        if not 0 <= self.profile_batches <= self.local_updates:
+            raise ValueError("profile_batches must be in [0, local_updates]")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.partition not in {"iid", "noniid", "dirichlet"}:
+            raise ValueError(f"unknown partition scheme {self.partition!r}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive when set")
+        if self.aergia_similarity_factor < 0:
+            raise ValueError("aergia_similarity_factor must be non-negative")
+
+    @property
+    def effective_clients_per_round(self) -> int:
+        """Number of clients selected in each round."""
+        return self.clients_per_round if self.clients_per_round is not None else self.num_clients
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """Short summary used by reports and experiment logs."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "architecture": self.architecture,
+            "partition": self.partition,
+            "num_clients": self.num_clients,
+            "clients_per_round": self.effective_clients_per_round,
+            "rounds": self.rounds,
+            "local_updates": self.local_updates,
+            "seed": self.seed,
+        }

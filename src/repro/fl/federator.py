@@ -1,0 +1,230 @@
+"""The synchronous federator (central server) base class.
+
+The federator drives the global training loop of the paper (§2.2, §3.3):
+
+1. select a subset of clients and send them the current global model,
+2. wait for every selected client's update (subclasses can drop late
+   clients — the deadline baseline — or orchestrate offloading — Aergia),
+3. aggregate the updates into the next global model,
+4. evaluate the global model on the held-out test set and record the round.
+
+The round duration is measured exactly as in the paper: from the moment the
+training requests are sent until the last participating client's results
+arrive at the federator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.aggregation import average_metric, fedavg_aggregate
+from repro.fl.config import ExperimentConfig
+from repro.fl.messages import MessageKind, OffloadResult, ProfileReport, TrainingResult
+from repro.fl.metrics import ExperimentResult, RoundRecord
+from repro.fl.selection import select_all, select_random
+from repro.nn.model import SplitCNN
+from repro.simulation.cluster import FEDERATOR_ID, SimulatedCluster
+from repro.simulation.network import Message
+
+Weights = Dict[str, np.ndarray]
+
+
+@dataclass
+class RoundState:
+    """Book-keeping for the round currently in flight."""
+
+    round_number: int
+    start_time: float
+    selected_clients: List[int]
+    results: Dict[int, TrainingResult] = field(default_factory=dict)
+    offload_results: Dict[int, OffloadResult] = field(default_factory=dict)
+    profile_reports: Dict[int, ProfileReport] = field(default_factory=dict)
+    dropped_clients: List[int] = field(default_factory=list)
+    finalized: bool = False
+    num_offloads: int = 0
+
+
+class BaseFederator:
+    """Synchronous federator; subclasses specialise selection, scheduling and
+    aggregation to realise the different algorithms of the evaluation."""
+
+    algorithm_name = "base"
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        config: ExperimentConfig,
+        global_model: SplitCNN,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        client_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.network = cluster.network
+        self.config = config
+        self.global_model = global_model
+        self.global_weights: Weights = global_model.get_weights()
+        self.x_test = x_test
+        self.y_test = y_test
+        self.client_ids: List[int] = (
+            sorted(client_ids) if client_ids is not None else cluster.client_ids
+        )
+        self._rng = np.random.default_rng(config.seed + 1)
+        self._round_state: Optional[RoundState] = None
+        self._rounds_completed = 0
+        self.setup_time = 0.0
+
+        self.result = ExperimentResult(
+            algorithm=self.algorithm_name,
+            dataset=config.dataset,
+            config=config.describe(),
+        )
+        self.network.register(FEDERATOR_ID, self.handle_message)
+
+    # ---------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Schedule the first round; call before running the simulation."""
+        self.env.schedule(self.setup_time, self._start_round)
+
+    @property
+    def finished(self) -> bool:
+        return self._rounds_completed >= self.config.rounds
+
+    @property
+    def current_round(self) -> int:
+        return self._round_state.round_number if self._round_state else self._rounds_completed
+
+    # ----------------------------------------------------------------- hooks
+    def wants_profile_reports(self) -> bool:
+        """Whether clients should run the online profiler and report timings."""
+        return False
+
+    def select_clients(self, round_number: int) -> List[int]:
+        """Client-selection policy (FedAvg-style random selection by default)."""
+        per_round = self.config.effective_clients_per_round
+        if per_round >= len(self.client_ids):
+            return select_all(self.client_ids)
+        return select_random(self.client_ids, per_round, rng=self._rng)
+
+    def total_batches_for(self, client_id: int, round_number: int) -> int:
+        """Number of local updates a client performs in a round."""
+        return self.config.local_updates
+
+    def on_round_started(self, state: RoundState) -> None:
+        """Hook called right after the training requests are sent."""
+
+    def on_profile_report(self, state: RoundState, report: ProfileReport) -> None:
+        """Hook called for every profile report received (Aergia overrides)."""
+
+    def round_complete(self, state: RoundState) -> bool:
+        """Whether all contributions needed to finalise the round have arrived."""
+        if set(state.results) != set(state.selected_clients):
+            return False
+        for result in state.results.values():
+            if result.offloaded_to is not None and result.client_id not in state.offload_results:
+                return False
+        return True
+
+    def collect_contributions(self, state: RoundState) -> List[Tuple[Weights, int, int]]:
+        """Build the (weights, num_samples, num_steps) list to aggregate."""
+        contributions = []
+        for client_id in sorted(state.results):
+            result = state.results[client_id]
+            contributions.append((result.weights, result.num_samples, result.num_steps))
+        return contributions
+
+    def aggregate(self, state: RoundState, contributions: List[Tuple[Weights, int, int]]) -> Weights:
+        """Aggregation rule (FedAvg weighted average by default)."""
+        return fedavg_aggregate([(w, n) for w, n, _ in contributions])
+
+    # -------------------------------------------------------------- round loop
+    def _start_round(self) -> None:
+        round_number = self._rounds_completed + 1
+        selected = self.select_clients(round_number)
+        state = RoundState(
+            round_number=round_number,
+            start_time=self.env.now,
+            selected_clients=list(selected),
+        )
+        self._round_state = state
+        for client_id in selected:
+            payload = {
+                "weights": self.global_weights,
+                "total_batches": self.total_batches_for(client_id, round_number),
+                "profile_batches": self.config.profile_batches,
+                "report_profile": self.wants_profile_reports(),
+            }
+            self.network.send(
+                FEDERATOR_ID,
+                client_id,
+                MessageKind.TRAIN_REQUEST,
+                payload=payload,
+                round_number=round_number,
+                size_bytes=float(sum(a.nbytes for a in self.global_weights.values())),
+            )
+        self.on_round_started(state)
+
+    # --------------------------------------------------------------- messaging
+    def handle_message(self, message: Message) -> None:
+        state = self._round_state
+        if state is None or state.finalized or message.round_number != state.round_number:
+            # Late or stale messages are ignored, as in the paper (§3.3).
+            return
+        if message.kind == MessageKind.TRAIN_RESULT:
+            result: TrainingResult = message.payload
+            state.results[result.client_id] = result
+            self._maybe_finalize(state)
+        elif message.kind == MessageKind.OFFLOAD_RESULT:
+            offload: OffloadResult = message.payload
+            state.offload_results[offload.source_client_id] = offload
+            self._maybe_finalize(state)
+        elif message.kind == MessageKind.PROFILE_REPORT:
+            report: ProfileReport = message.payload
+            state.profile_reports[report.client_id] = report
+            self.on_profile_report(state, report)
+
+    def _maybe_finalize(self, state: RoundState) -> None:
+        if not state.finalized and self.round_complete(state):
+            self._finalize_round(state)
+
+    # -------------------------------------------------------------- finalisation
+    def _finalize_round(self, state: RoundState) -> None:
+        state.finalized = True
+        contributions = self.collect_contributions(state)
+        if contributions:
+            self.global_weights = self.aggregate(state, contributions)
+        self.global_model.set_weights(self.global_weights)
+        test_loss, test_accuracy = self.global_model.evaluate(self.x_test, self.y_test)
+
+        completed = sorted(state.results)
+        losses = [state.results[cid].train_loss for cid in completed]
+        sizes = [state.results[cid].num_samples for cid in completed]
+        record = RoundRecord(
+            round_number=state.round_number,
+            start_time=state.start_time,
+            end_time=self.env.now,
+            selected_clients=list(state.selected_clients),
+            completed_clients=completed,
+            dropped_clients=list(state.dropped_clients),
+            num_offloads=state.num_offloads
+            or sum(1 for r in state.results.values() if r.offloaded_to is not None),
+            test_accuracy=test_accuracy,
+            test_loss=test_loss,
+            mean_train_loss=average_metric(losses, sizes),
+        )
+        self.result.add_round(record)
+        self.result.setup_time = self.setup_time
+        self._rounds_completed += 1
+        self._round_state = None
+        if not self.finished:
+            self._start_round()
+
+
+class FedAvgFederator(BaseFederator):
+    """Plain FedAvg: random selection, wait for everyone, weighted average."""
+
+    algorithm_name = "fedavg"

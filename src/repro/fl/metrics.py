@@ -1,0 +1,138 @@
+"""Round records and experiment results.
+
+The paper reports, per algorithm and dataset, (i) the test accuracy after a
+fixed number of communication rounds, (ii) the wall-clock (here: virtual)
+time to complete those rounds, and (iii) distributions of per-round
+durations (Figure 8) and accuracy-over-time curves (Figure 10).  The data
+structures in this module capture everything those reports need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Measurements of one global training round."""
+
+    round_number: int
+    start_time: float
+    end_time: float
+    selected_clients: List[int]
+    completed_clients: List[int]
+    dropped_clients: List[int] = field(default_factory=list)
+    num_offloads: int = 0
+    test_accuracy: float = 0.0
+    test_loss: float = 0.0
+    mean_train_loss: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Virtual duration of the round in seconds."""
+        return self.end_time - self.start_time
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of a complete federated-learning experiment."""
+
+    algorithm: str
+    dataset: str
+    config: Dict[str, object]
+    rounds: List[RoundRecord] = field(default_factory=list)
+    setup_time: float = 0.0
+
+    # ------------------------------------------------------------- recording
+    def add_round(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    # ------------------------------------------------------------- summaries
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_time(self) -> float:
+        """Total training time: setup (e.g. offline profiling) + all rounds."""
+        if not self.rounds:
+            return self.setup_time
+        return self.setup_time + self.rounds[-1].end_time - self.rounds[0].start_time
+
+    @property
+    def final_accuracy(self) -> float:
+        """Test accuracy after the last round."""
+        if not self.rounds:
+            return 0.0
+        return self.rounds[-1].test_accuracy
+
+    @property
+    def peak_accuracy(self) -> float:
+        """Best test accuracy observed over the run."""
+        if not self.rounds:
+            return 0.0
+        return max(record.test_accuracy for record in self.rounds)
+
+    def round_durations(self) -> np.ndarray:
+        """Durations of every round (Figure 8 uses their distribution)."""
+        return np.array([record.duration for record in self.rounds], dtype=np.float64)
+
+    def mean_round_duration(self) -> float:
+        durations = self.round_durations()
+        return float(durations.mean()) if durations.size else 0.0
+
+    def accuracy_timeline(self) -> List[Tuple[float, float]]:
+        """(virtual time, accuracy) pairs, one per round (Figure 10 curves)."""
+        return [
+            (self.setup_time + record.end_time, record.test_accuracy) for record in self.rounds
+        ]
+
+    def total_offloads(self) -> int:
+        return sum(record.num_offloads for record in self.rounds)
+
+    def total_dropped(self) -> int:
+        return sum(len(record.dropped_clients) for record in self.rounds)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by the report printers and benchmarks."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "rounds": float(self.num_rounds),
+            "total_time_s": float(self.total_time),
+            "mean_round_duration_s": self.mean_round_duration(),
+            "final_accuracy": float(self.final_accuracy),
+            "peak_accuracy": float(self.peak_accuracy),
+            "total_offloads": float(self.total_offloads()),
+            "total_dropped": float(self.total_dropped()),
+        }
+
+
+def round_duration_density(
+    results: Sequence[ExperimentResult], bins: int = 20, max_duration: Optional[float] = None
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Histogram densities of round durations for several experiments.
+
+    Returns a mapping ``algorithm -> (bin_centers, density)`` comparable to
+    the kernel-density plot of Figure 8.
+    """
+    if not results:
+        raise ValueError("need at least one experiment result")
+    if max_duration is None:
+        max_duration = max(
+            (result.round_durations().max() if result.num_rounds else 0.0) for result in results
+        )
+        if max_duration <= 0:
+            max_duration = 1.0
+    edges = np.linspace(0.0, max_duration * 1.05, bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    densities: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for result in results:
+        durations = result.round_durations()
+        hist, _ = np.histogram(durations, bins=edges, density=True)
+        densities[result.algorithm] = (centers, hist)
+    return densities

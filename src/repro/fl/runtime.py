@@ -1,0 +1,229 @@
+"""End-to-end experiment assembly and execution.
+
+:func:`build_experiment` turns an :class:`repro.fl.config.ExperimentConfig`
+into a ready-to-run system: synthetic dataset, client partitions,
+heterogeneous cluster, one :class:`repro.fl.client.FLClient` per node and
+the federator implementing the requested algorithm.  :func:`run_experiment`
+runs the simulation to completion and returns the
+:class:`repro.fl.metrics.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.data.datasets import load_dataset
+from repro.data.partition import ClientPartition, partition_dataset
+from repro.fl.client import FLClient
+from repro.fl.config import ExperimentConfig, ResourceConfig
+from repro.fl.federator import BaseFederator, FedAvgFederator
+from repro.fl.metrics import ExperimentResult
+from repro.nn.architectures import build_model
+from repro.simulation.cluster import SimulatedCluster
+from repro.simulation.network import LinkSpec
+from repro.simulation.resources import (
+    ResourceProfile,
+    speeds_with_variance,
+    tiered_speed_profiles,
+    uniform_speed_profiles,
+)
+
+
+@dataclass
+class ExperimentHandle:
+    """Everything :func:`build_experiment` creates, for inspection by tests."""
+
+    config: ExperimentConfig
+    cluster: SimulatedCluster
+    federator: BaseFederator
+    clients: List[FLClient]
+    partitions: List[ClientPartition]
+
+    def run(self) -> ExperimentResult:
+        """Start the federator and run the simulation to completion."""
+        self.federator.start()
+        self.cluster.run()
+        return self.federator.result
+
+
+def _build_profiles(resources: ResourceConfig, num_clients: int, rng: np.random.Generator) -> List[ResourceProfile]:
+    """Instantiate client resource profiles from the resource configuration."""
+    if resources.scheme == "uniform":
+        return uniform_speed_profiles(
+            num_clients,
+            low=resources.low,
+            high=resources.high,
+            rng=rng,
+            base_flops_per_second=resources.base_flops_per_second,
+        )
+    if resources.scheme == "variance":
+        return speeds_with_variance(
+            num_clients,
+            mean=resources.mean,
+            variance=resources.variance,
+            rng=rng,
+            base_flops_per_second=resources.base_flops_per_second,
+        )
+    if resources.scheme == "tiers":
+        return tiered_speed_profiles(
+            num_clients,
+            tiers=resources.tiers,
+            rng=rng,
+            base_flops_per_second=resources.base_flops_per_second,
+        )
+    if resources.scheme == "explicit":
+        speeds = list(resources.explicit_speeds or [])
+        if len(speeds) < num_clients:
+            raise ValueError(
+                f"explicit_speeds has {len(speeds)} entries but {num_clients} clients are required"
+            )
+        return [
+            ResourceProfile(
+                speed_fraction=float(speed),
+                base_flops_per_second=resources.base_flops_per_second,
+            )
+            for speed in speeds[:num_clients]
+        ]
+    raise ValueError(f"unknown resource scheme {resources.scheme!r}")
+
+
+def federator_class(algorithm: str) -> Type[BaseFederator]:
+    """Resolve an algorithm name to its federator class.
+
+    Imports are done lazily so that :mod:`repro.fl` does not depend on
+    :mod:`repro.baselines` or :mod:`repro.core` at import time.
+    """
+    algorithm = algorithm.lower()
+    if algorithm == "fedavg":
+        return FedAvgFederator
+    if algorithm == "fedprox":
+        from repro.baselines.fedprox import FedProxFederator
+
+        return FedProxFederator
+    if algorithm == "fednova":
+        from repro.baselines.fednova import FedNovaFederator
+
+        return FedNovaFederator
+    if algorithm == "fedsgd":
+        from repro.baselines.fedsgd import FedSGDFederator
+
+        return FedSGDFederator
+    if algorithm == "tifl":
+        from repro.baselines.tifl import TiFLFederator
+
+        return TiFLFederator
+    if algorithm == "deadline":
+        from repro.baselines.deadline import DeadlineFederator
+
+        return DeadlineFederator
+    if algorithm == "aergia":
+        from repro.core.aergia import AergiaFederator
+
+        return AergiaFederator
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def _estimate_client_batch_seconds(
+    cluster: SimulatedCluster,
+    config: ExperimentConfig,
+    sample_x: np.ndarray,
+    sample_y: np.ndarray,
+) -> Dict[int, float]:
+    """Per-client full-batch durations (used by TiFL's offline profiling)."""
+    rng = np.random.default_rng(config.seed)
+    model = build_model(config.architecture, rng=rng)
+    batch = min(config.batch_size, sample_x.shape[0])
+    trace = model.phase_trace_for_batch(sample_x[:batch], sample_y[:batch])
+    return {
+        client_id: cluster.cost_model.batch_seconds(trace, cluster.profile(client_id))
+        for client_id in cluster.client_ids
+    }
+
+
+def build_experiment(config: ExperimentConfig) -> ExperimentHandle:
+    """Assemble a complete experiment from its configuration."""
+    rng = np.random.default_rng(config.seed)
+
+    dataset = load_dataset(
+        config.dataset,
+        train_size=config.train_size,
+        test_size=config.test_size,
+        seed=config.seed,
+    )
+    partitions = partition_dataset(
+        dataset,
+        config.num_clients,
+        scheme=config.partition,
+        classes_per_client=config.classes_per_client,
+        alpha=config.dirichlet_alpha,
+        rng=rng,
+    )
+
+    profiles = _build_profiles(config.resources, config.num_clients, rng)
+    cluster = SimulatedCluster(
+        profiles,
+        default_link=LinkSpec(
+            latency_s=config.network_latency_s,
+            bandwidth_bytes_per_s=config.network_bandwidth_bytes_per_s,
+        ),
+        seed=config.seed,
+    )
+
+    global_model = build_model(config.architecture, rng=np.random.default_rng(config.seed))
+
+    clients: List[FLClient] = []
+    for partition in partitions:
+        client_model = build_model(config.architecture, rng=np.random.default_rng(config.seed))
+        clients.append(
+            FLClient(
+                client_id=partition.client_id,
+                cluster=cluster,
+                model=client_model,
+                x_train=dataset.x_train[partition.indices],
+                y_train=dataset.y_train[partition.indices],
+                config=config,
+                class_counts=partition.class_counts,
+            )
+        )
+
+    federator_cls = federator_class(config.algorithm)
+    extra_kwargs: Dict[str, object] = {}
+    if config.algorithm == "aergia":
+        from repro.core.enclave import SGXEnclave, seal_distribution
+
+        enclave = SGXEnclave(seed=config.seed)
+        report = enclave.attest()
+        for partition in partitions:
+            enclave.submit_distribution(
+                seal_distribution(partition.client_id, partition.class_counts, report)
+            )
+        extra_kwargs["enclave"] = enclave
+    elif config.algorithm == "tifl":
+        extra_kwargs["client_batch_seconds"] = _estimate_client_batch_seconds(
+            cluster, config, dataset.x_train, dataset.y_train
+        )
+
+    federator = federator_cls(
+        cluster=cluster,
+        config=config,
+        global_model=global_model,
+        x_test=dataset.x_test,
+        y_test=dataset.y_test,
+        **extra_kwargs,
+    )
+
+    return ExperimentHandle(
+        config=config,
+        cluster=cluster,
+        federator=federator,
+        clients=clients,
+        partitions=partitions,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build and run an experiment, returning its result."""
+    return build_experiment(config).run()

@@ -1,0 +1,58 @@
+"""Client-selection policies.
+
+The paper performs client selection "in the same manner as with FedAvg"
+(§4.3): a subset of the clients is selected uniformly at random each round
+(all clients when the subset size equals the population).  TiFL replaces
+this with tier-based selection, implemented in
+:mod:`repro.baselines.tifl`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def select_all(client_ids: Sequence[int]) -> List[int]:
+    """Select every client (the default when ``clients_per_round`` is unset)."""
+    return sorted(client_ids)
+
+
+def select_random(
+    client_ids: Sequence[int],
+    num_to_select: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[int]:
+    """Uniformly random selection without replacement (FedAvg-style)."""
+    if num_to_select < 1:
+        raise ValueError("must select at least one client")
+    if num_to_select > len(client_ids):
+        raise ValueError(
+            f"cannot select {num_to_select} clients out of {len(client_ids)}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    chosen = rng.choice(np.asarray(list(client_ids)), size=num_to_select, replace=False)
+    return sorted(int(c) for c in chosen)
+
+
+def select_weighted(
+    client_ids: Sequence[int],
+    weights: Sequence[float],
+    num_to_select: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[int]:
+    """Random selection with per-client probabilities (used by extensions)."""
+    if len(client_ids) != len(weights):
+        raise ValueError("client_ids and weights must have the same length")
+    if num_to_select > len(client_ids):
+        raise ValueError("cannot select more clients than available")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative and sum to a positive value")
+    probabilities = weights / weights.sum()
+    rng = rng if rng is not None else np.random.default_rng()
+    chosen = rng.choice(
+        np.asarray(list(client_ids)), size=num_to_select, replace=False, p=probabilities
+    )
+    return sorted(int(c) for c in chosen)

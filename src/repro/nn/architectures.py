@@ -1,0 +1,194 @@
+"""Network architectures used in the paper's evaluation.
+
+The paper evaluates Aergia with:
+
+* a three-layer CNN (two convolutional layers + one fully connected layer)
+  for MNIST and FMNIST (§5.1 "Networks"),
+* an eight-layer CNN (six convolutional layers + two fully connected
+  layers) for Cifar-10,
+* additional ResNet- and VGG-style networks on Cifar-10/Cifar-100 for the
+  phase-profiling experiment (Figure 4).
+
+Channel counts are scaled down relative to typical PyTorch models so that a
+pure-numpy implementation trains in seconds, while the *structural*
+properties the paper relies on — convolutional feature layers dominating
+the backward-pass cost, a small fully connected classifier — are preserved.
+Every factory takes a seeded :class:`numpy.random.Generator` so that the
+federator and all simulated clients agree on the initial global model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, ResidualBlock
+from repro.nn.model import SplitCNN
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Metadata describing a registered architecture."""
+
+    name: str
+    input_shape: Tuple[int, int, int]
+    num_classes: int
+    builder: Callable[[np.random.Generator], SplitCNN]
+
+
+def _default_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(0)
+
+
+def mnist_cnn(rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """Three-layer CNN for MNIST: two conv layers and one FC layer."""
+    rng = _default_rng(rng)
+    features = [
+        Conv2D(1, 8, 5, padding=2, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(8, 16, 5, padding=2, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+    ]
+    classifier = [
+        Flatten(),
+        Dense(16 * 7 * 7, 10, rng=rng),
+    ]
+    return SplitCNN(features, classifier, name="mnist-cnn")
+
+
+def fmnist_cnn(rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """Same architecture as :func:`mnist_cnn`, used for Fashion-MNIST."""
+    model = mnist_cnn(rng)
+    model.name = "fmnist-cnn"
+    return model
+
+
+def cifar10_cnn(rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """Eight-layer CNN for Cifar-10: six conv layers and two FC layers."""
+    rng = _default_rng(rng)
+    features = [
+        Conv2D(3, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2D(16, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(16, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2D(32, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(32, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2D(32, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+    ]
+    classifier = [
+        Flatten(),
+        Dense(32 * 4 * 4, 64, rng=rng),
+        ReLU(),
+        Dense(64, 10, rng=rng),
+    ]
+    return SplitCNN(features, classifier, name="cifar10-cnn")
+
+
+def cifar10_resnet(rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """Small residual network for Cifar-10 (used in the Figure 4 profile)."""
+    rng = _default_rng(rng)
+    features = [
+        Conv2D(3, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        ResidualBlock(16, 16, rng=rng),
+        MaxPool2D(2),
+        ResidualBlock(16, 32, rng=rng),
+        MaxPool2D(2),
+        ResidualBlock(32, 32, rng=rng),
+        MaxPool2D(2),
+    ]
+    classifier = [
+        Flatten(),
+        Dense(32 * 4 * 4, 10, rng=rng),
+    ]
+    return SplitCNN(features, classifier, name="cifar10-resnet")
+
+
+def cifar100_vgg(rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """VGG-style network for Cifar-100 (used in the Figure 4 profile)."""
+    rng = _default_rng(rng)
+    features = [
+        Conv2D(3, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2D(16, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(16, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2D(32, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(32, 64, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2D(64, 64, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+    ]
+    classifier = [
+        Flatten(),
+        Dense(64 * 4 * 4, 128, rng=rng),
+        ReLU(),
+        Dense(128, 100, rng=rng),
+    ]
+    return SplitCNN(features, classifier, name="cifar100-vgg")
+
+
+def cifar100_resnet(rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """Small residual network for Cifar-100 (used in the Figure 4 profile)."""
+    rng = _default_rng(rng)
+    features = [
+        Conv2D(3, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        ResidualBlock(16, 32, rng=rng),
+        MaxPool2D(2),
+        ResidualBlock(32, 32, rng=rng),
+        MaxPool2D(2),
+        ResidualBlock(32, 64, rng=rng),
+        MaxPool2D(2),
+    ]
+    classifier = [
+        Flatten(),
+        Dense(64 * 4 * 4, 100, rng=rng),
+    ]
+    return SplitCNN(features, classifier, name="cifar100-resnet")
+
+
+ARCHITECTURES: Dict[str, ArchitectureSpec] = {
+    "mnist-cnn": ArchitectureSpec("mnist-cnn", (1, 28, 28), 10, mnist_cnn),
+    "fmnist-cnn": ArchitectureSpec("fmnist-cnn", (1, 28, 28), 10, fmnist_cnn),
+    "cifar10-cnn": ArchitectureSpec("cifar10-cnn", (3, 32, 32), 10, cifar10_cnn),
+    "cifar10-resnet": ArchitectureSpec("cifar10-resnet", (3, 32, 32), 10, cifar10_resnet),
+    "cifar100-vgg": ArchitectureSpec("cifar100-vgg", (3, 32, 32), 100, cifar100_vgg),
+    "cifar100-resnet": ArchitectureSpec("cifar100-resnet", (3, 32, 32), 100, cifar100_resnet),
+}
+
+
+def build_model(name: str, rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """Instantiate a registered architecture by name.
+
+    Parameters
+    ----------
+    name:
+        One of the keys of :data:`ARCHITECTURES`.
+    rng:
+        Generator controlling the weight initialisation.
+    """
+    try:
+        spec = ARCHITECTURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(ARCHITECTURES)}"
+        ) from None
+    return spec.builder(_default_rng(rng))

@@ -1,0 +1,39 @@
+"""Weight initialisation helpers for the numpy neural-network substrate.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so that
+every model in a simulated federated cluster can be constructed
+deterministically from a seed.  This is essential for reproducing the
+paper's experiments: the federator and every client must start from the
+same global model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU networks.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the weight tensor to create.
+    fan_in:
+        Number of input units feeding each output unit.
+    rng:
+        Source of randomness.
+    """
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation, used for biases."""
+    return np.zeros(shape, dtype=np.float64)

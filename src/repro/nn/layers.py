@@ -1,0 +1,496 @@
+"""Neural-network layers with forward/backward passes and FLOP accounting.
+
+Every layer exposes:
+
+* :meth:`Layer.forward` / :meth:`Layer.backward` — real numpy math,
+* :attr:`Layer.params` / :attr:`Layer.grads` — named parameter and gradient
+  arrays (empty for stateless layers),
+* :attr:`Layer.last_forward_flops` / :attr:`Layer.last_backward_flops` —
+  the floating-point operation counts of the most recent forward/backward
+  call.  The cluster simulator converts these counts into virtual seconds,
+  which is how the reproduction recreates the heterogeneous training times
+  of the paper's Docker/Kubernetes testbed without real CPU throttling.
+
+Layers operate on ``float64`` arrays in ``(N, C, H, W)`` layout for images
+and ``(N, F)`` layout for flat features.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, zeros
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses must implement :meth:`forward` and :meth:`backward` and keep
+    ``self._params`` / ``self._grads`` dictionaries in sync.  Gradients are
+    *accumulated into* ``self._grads`` on each backward call after being
+    reset by :meth:`zero_grad`.
+    """
+
+    def __init__(self) -> None:
+        self._params: Dict[str, np.ndarray] = {}
+        self._grads: Dict[str, np.ndarray] = {}
+        self.last_forward_flops: int = 0
+        self.last_backward_flops: int = 0
+
+    # ------------------------------------------------------------------ API
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        """Named trainable parameters of this layer."""
+        return self._params
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Named gradients, matching :attr:`params` keys and shapes."""
+        return self._grads
+
+    def zero_grad(self) -> None:
+        """Reset all gradient buffers to zero."""
+        for key, value in self._params.items():
+            self._grads[key] = np.zeros_like(value)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in this layer."""
+        return int(sum(p.size for p in self._params.values()))
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape (excluding the batch dimension) produced for ``input_shape``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}()"
+
+
+# --------------------------------------------------------------------------
+# im2col helpers
+# --------------------------------------------------------------------------
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kh, kw:
+        Kernel height and width.
+    stride:
+        Stride of the convolution.
+    pad:
+        Symmetric zero padding applied to both spatial dimensions.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(N, out_h, out_w, C * kh * kw)``.
+    """
+    n, c, h, w = x.shape
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    # (N, out_h, out_w, C*kh*kw)
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n, out_h, out_w, c * kh * kw)
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`, accumulating overlapping patches."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+
+    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            x_padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if pad > 0:
+        return x_padded[:, :, pad:-pad, pad:-pad]
+    return x_padded
+
+
+# --------------------------------------------------------------------------
+# Convolution
+# --------------------------------------------------------------------------
+class Conv2D(Layer):
+    """2D convolution layer (``NCHW`` layout) implemented with im2col.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Number of input and output feature maps.
+    kernel_size:
+        Side of the square convolution kernel.
+    stride:
+        Convolution stride (same in both spatial dimensions).
+    padding:
+        Symmetric zero padding.
+    rng:
+        Generator used for He-normal weight initialisation.  A default
+        generator is created when omitted, which is convenient in tests but
+        should be avoided in experiments that must be reproducible.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+        fan_in = in_channels * kernel_size * kernel_size
+        self._params["W"] = he_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+        )
+        self._params["b"] = zeros((out_channels,))
+        self.zero_grad()
+
+        self._cache_cols: Optional[np.ndarray] = None
+        self._cache_x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        return (self.out_channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n = x.shape[0]
+        k = self.kernel_size
+        cols = _im2col(x, k, k, self.stride, self.padding)
+        out_h, out_w = cols.shape[1], cols.shape[2]
+
+        w_mat = self._params["W"].reshape(self.out_channels, -1)
+        out = cols.reshape(n * out_h * out_w, -1) @ w_mat.T + self._params["b"]
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+        if training:
+            self._cache_cols = cols
+            self._cache_x_shape = x.shape
+
+        # 2 flops (mul + add) per MAC.
+        macs = n * out_h * out_w * self.out_channels * self.in_channels * k * k
+        self.last_forward_flops = 2 * macs
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_cols is None or self._cache_x_shape is None:
+            raise RuntimeError("Conv2D.backward called before forward(training=True)")
+        n, _, out_h, out_w = grad_out.shape
+        k = self.kernel_size
+        cols = self._cache_cols
+        w_mat = self._params["W"].reshape(self.out_channels, -1)
+
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        cols_flat = cols.reshape(n * out_h * out_w, -1)
+
+        grad_w = grad_flat.T @ cols_flat
+        self._grads["W"] += grad_w.reshape(self._params["W"].shape)
+        self._grads["b"] += grad_flat.sum(axis=0)
+
+        grad_cols = grad_flat @ w_mat
+        grad_x = _col2im(
+            grad_cols.reshape(n, out_h, out_w, -1),
+            self._cache_x_shape,
+            k,
+            k,
+            self.stride,
+            self.padding,
+        )
+        macs = n * out_h * out_w * self.out_channels * self.in_channels * k * k
+        self.last_backward_flops = 4 * macs  # dW and dX matmuls
+        return grad_x
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )
+
+
+# --------------------------------------------------------------------------
+# Pooling
+# --------------------------------------------------------------------------
+class MaxPool2D(Layer):
+    """Max pooling with a square window and equal stride.
+
+    The spatial dimensions must be divisible by ``pool_size``; the
+    architectures in :mod:`repro.nn.architectures` are built so that this
+    always holds.
+    """
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        self.pool_size = pool_size
+        self._cache_mask: Optional[np.ndarray] = None
+        self._cache_shape: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        if h % self.pool_size or w % self.pool_size:
+            raise ValueError(
+                f"MaxPool2D requires spatial dims divisible by {self.pool_size}, got {input_shape}"
+            )
+        return (c, h // self.pool_size, w // self.pool_size)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        p = self.pool_size
+        if h % p or w % p:
+            raise ValueError(f"MaxPool2D input spatial dims {h}x{w} not divisible by {p}")
+        reshaped = x.reshape(n, c, h // p, p, w // p, p)
+        out = reshaped.max(axis=(3, 5))
+
+        if training:
+            expanded = out[:, :, :, None, :, None]
+            mask = (reshaped == expanded)
+            # Break ties so gradients are not duplicated: keep only the first max
+            # of each pooling window.  The mask axes are (N, C, H', p, W', p);
+            # bring the two window axes together before flattening them.
+            flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(-1, p * p)
+            first = np.argmax(flat, axis=1)
+            single = np.zeros_like(flat)
+            single[np.arange(flat.shape[0]), first] = True
+            self._cache_mask = (
+                single.reshape(n, c, h // p, w // p, p, p).transpose(0, 1, 2, 4, 3, 5)
+            )
+            self._cache_shape = x.shape
+
+        self.last_forward_flops = x.size
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_mask is None or self._cache_shape is None:
+            raise RuntimeError("MaxPool2D.backward called before forward(training=True)")
+        n, c, h, w = self._cache_shape
+        p = self.pool_size
+        grad = np.zeros((n, c, h // p, p, w // p, p), dtype=grad_out.dtype)
+        grad += grad_out[:, :, :, None, :, None]
+        grad *= self._cache_mask
+        self.last_backward_flops = grad.size
+        return grad.reshape(n, c, h, w)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MaxPool2D(pool_size={self.pool_size})"
+
+
+# --------------------------------------------------------------------------
+# Activations and reshaping
+# --------------------------------------------------------------------------
+class ReLU(Layer):
+    """Rectified linear unit activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_mask: Optional[np.ndarray] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        if training:
+            self._cache_mask = x > 0.0
+        self.last_forward_flops = x.size
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_mask is None:
+            raise RuntimeError("ReLU.backward called before forward(training=True)")
+        self.last_backward_flops = grad_out.size
+        return grad_out * self._cache_mask
+
+
+class Flatten(Layer):
+    """Flatten ``(N, C, H, W)`` feature maps into ``(N, C*H*W)`` vectors."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_shape: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._cache_shape = x.shape
+        self.last_forward_flops = 0
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_shape is None:
+            raise RuntimeError("Flatten.backward called before forward(training=True)")
+        self.last_backward_flops = 0
+        return grad_out.reshape(self._cache_shape)
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self._params["W"] = he_normal((in_features, out_features), in_features, rng)
+        self._params["b"] = zeros((out_features,))
+        self.zero_grad()
+        self._cache_x: Optional[np.ndarray] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.out_features,)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._cache_x = x
+        self.last_forward_flops = 2 * x.shape[0] * self.in_features * self.out_features
+        return x @ self._params["W"] + self._params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError("Dense.backward called before forward(training=True)")
+        x = self._cache_x
+        self._grads["W"] += x.T @ grad_out
+        self._grads["b"] += grad_out.sum(axis=0)
+        self.last_backward_flops = 4 * x.shape[0] * self.in_features * self.out_features
+        return grad_out @ self._params["W"].T
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+# --------------------------------------------------------------------------
+# Residual block (used by the ResNet-style profiling architectures)
+# --------------------------------------------------------------------------
+class ResidualBlock(Layer):
+    """Two-convolution residual block with identity (or projected) skip.
+
+    ``out = ReLU(conv2(ReLU(conv1(x))) + skip(x))`` where ``skip`` is the
+    identity when the channel counts match and a 1x1 convolution otherwise.
+    Parameters of inner layers are exposed with ``conv1.``/``conv2.``/
+    ``proj.`` prefixes so that the model-level weight dictionaries stay flat.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.conv1 = Conv2D(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2D(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.relu_out = ReLU()
+        self.proj: Optional[Conv2D] = None
+        if in_channels != out_channels:
+            self.proj = Conv2D(in_channels, out_channels, 1, rng=rng)
+        self._sync_param_views()
+
+    def _sublayers(self) -> List[Tuple[str, Layer]]:
+        subs: List[Tuple[str, Layer]] = [("conv1", self.conv1), ("conv2", self.conv2)]
+        if self.proj is not None:
+            subs.append(("proj", self.proj))
+        return subs
+
+    def _sync_param_views(self) -> None:
+        self._params = {}
+        self._grads = {}
+        for prefix, sub in self._sublayers():
+            for key, value in sub.params.items():
+                self._params[f"{prefix}.{key}"] = value
+            for key, value in sub.grads.items():
+                self._grads[f"{prefix}.{key}"] = value
+
+    def zero_grad(self) -> None:
+        for _, sub in self._sublayers():
+            sub.zero_grad()
+        self._sync_param_views()
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return self.conv2.output_shape(self.conv1.output_shape(input_shape))
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        h = self.conv1.forward(x, training)
+        h = self.relu1.forward(h, training)
+        h = self.conv2.forward(h, training)
+        shortcut = x if self.proj is None else self.proj.forward(x, training)
+        out = self.relu_out.forward(h + shortcut, training)
+        self.last_forward_flops = (
+            self.conv1.last_forward_flops
+            + self.relu1.last_forward_flops
+            + self.conv2.last_forward_flops
+            + (self.proj.last_forward_flops if self.proj is not None else 0)
+            + self.relu_out.last_forward_flops
+            + h.size
+        )
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu_out.backward(grad_out)
+        grad_h = self.conv2.backward(grad_sum)
+        grad_h = self.relu1.backward(grad_h)
+        grad_x = self.conv1.backward(grad_h)
+        if self.proj is not None:
+            grad_x = grad_x + self.proj.backward(grad_sum)
+        else:
+            grad_x = grad_x + grad_sum
+        self._sync_param_views()
+        self.last_backward_flops = (
+            self.conv1.last_backward_flops
+            + self.relu1.last_backward_flops
+            + self.conv2.last_backward_flops
+            + (self.proj.last_backward_flops if self.proj is not None else 0)
+            + self.relu_out.last_backward_flops
+            + grad_out.size
+        )
+        return grad_x
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ResidualBlock({self.in_channels}, {self.out_channels})"

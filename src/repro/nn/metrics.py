@@ -1,0 +1,33 @@
+"""Classification metrics used by the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of predictions equal to the labels.
+
+    ``predictions`` may be class indices (1-D) or logits/probabilities
+    (2-D); in the latter case the argmax over the last axis is used.
+    """
+    if predictions.ndim == 2:
+        predictions = np.argmax(predictions, axis=1)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape}, labels {labels.shape}"
+        )
+    if labels.size == 0:
+        raise ValueError("cannot compute accuracy on empty arrays")
+    return float(np.mean(predictions == labels))
+
+
+def top_k_accuracy(scores: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true label is within the top-``k`` scores."""
+    if scores.ndim != 2:
+        raise ValueError("top_k_accuracy expects a 2-D score matrix")
+    if k < 1 or k > scores.shape[1]:
+        raise ValueError(f"k must be in [1, {scores.shape[1]}], got {k}")
+    top_k = np.argsort(scores, axis=1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(np.mean(hits))

@@ -1,0 +1,349 @@
+"""Phase-aware CNN model container.
+
+The paper (§2.1, Figure 3) splits a local training step into four phases:
+
+* ``ff`` — forward pass through the feature (convolutional) layers,
+* ``fc`` — forward pass through the classifier (fully connected) layers,
+* ``bc`` — backward pass through the classifier layers,
+* ``bf`` — backward pass through the feature layers.
+
+Aergia's key observation (Figure 4) is that ``bf`` dominates the cost of a
+step, so freezing the feature layers of a straggler removes most of its
+per-batch work.  :class:`SplitCNN` makes this structure explicit: the model
+is a pair of layer stacks (features, classifier) and
+:meth:`SplitCNN.train_batch` executes and accounts for the four phases
+separately, optionally skipping ``bf`` (and feature-parameter updates) when
+the features are frozen.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.loss import CrossEntropyLoss, softmax
+from repro.nn.optim import Optimizer
+
+
+class Phase(str, enum.Enum):
+    """The four training phases of a local update (paper Figure 3)."""
+
+    FORWARD_FEATURES = "ff"
+    FORWARD_CLASSIFIER = "fc"
+    BACKWARD_CLASSIFIER = "bc"
+    BACKWARD_FEATURES = "bf"
+
+    @classmethod
+    def ordered(cls) -> Tuple["Phase", ...]:
+        """Phases in execution order within a training step."""
+        return (
+            cls.FORWARD_FEATURES,
+            cls.FORWARD_CLASSIFIER,
+            cls.BACKWARD_CLASSIFIER,
+            cls.BACKWARD_FEATURES,
+        )
+
+
+@dataclass
+class PhaseTrace:
+    """FLOP counts per training phase for one (or several) batches.
+
+    The cluster simulator converts these counts into virtual seconds by
+    dividing by a client's effective compute rate, which recreates the
+    heterogeneous per-phase timings that the paper measures on throttled
+    Docker containers.
+    """
+
+    flops: Dict[Phase, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in Phase}
+    )
+
+    def add(self, phase: Phase, flops: float) -> None:
+        self.flops[phase] += float(flops)
+
+    def merge(self, other: "PhaseTrace") -> "PhaseTrace":
+        merged = PhaseTrace()
+        for phase in Phase:
+            merged.flops[phase] = self.flops[phase] + other.flops[phase]
+        return merged
+
+    def total(self) -> float:
+        return float(sum(self.flops.values()))
+
+    def fractions(self) -> Dict[Phase, float]:
+        """Share of the total FLOPs spent in each phase."""
+        total = self.total()
+        if total == 0:
+            return {phase: 0.0 for phase in Phase}
+        return {phase: self.flops[phase] / total for phase in Phase}
+
+    def scaled(self, factor: float) -> "PhaseTrace":
+        scaled = PhaseTrace()
+        for phase in Phase:
+            scaled.flops[phase] = self.flops[phase] * factor
+        return scaled
+
+
+class SplitCNN:
+    """A CNN explicitly split into feature layers and classifier layers.
+
+    Parameters
+    ----------
+    feature_layers:
+        Convolutional part of the network (phases ``ff``/``bf``).
+    classifier_layers:
+        Fully connected part (phases ``fc``/``bc``).
+    name:
+        Human-readable architecture name used in reports.
+    """
+
+    FEATURE_PREFIX = "features"
+    CLASSIFIER_PREFIX = "classifier"
+
+    def __init__(
+        self,
+        feature_layers: Sequence[Layer],
+        classifier_layers: Sequence[Layer],
+        name: str = "split-cnn",
+    ) -> None:
+        if not classifier_layers:
+            raise ValueError("SplitCNN requires at least one classifier layer")
+        self.feature_layers: List[Layer] = list(feature_layers)
+        self.classifier_layers: List[Layer] = list(classifier_layers)
+        self.name = name
+        self.loss_fn = CrossEntropyLoss()
+        self.features_frozen = False
+        self.classifier_frozen = False
+
+    # ------------------------------------------------------------ structure
+    def _named_layers(self) -> Iterable[Tuple[str, Layer]]:
+        for idx, layer in enumerate(self.feature_layers):
+            yield f"{self.FEATURE_PREFIX}.{idx}", layer
+        for idx, layer in enumerate(self.classifier_layers):
+            yield f"{self.CLASSIFIER_PREFIX}.{idx}", layer
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(layer.num_parameters() for _, layer in self._named_layers())
+
+    def num_feature_parameters(self) -> int:
+        """Number of parameters in the feature (convolutional) section."""
+        return sum(layer.num_parameters() for layer in self.feature_layers)
+
+    def num_classifier_parameters(self) -> int:
+        """Number of parameters in the classifier (fully connected) section."""
+        return sum(layer.num_parameters() for layer in self.classifier_layers)
+
+    # ------------------------------------------------------------ weights IO
+    def get_weights(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameters keyed ``"<section>.<layer>.<param>"``."""
+        weights: Dict[str, np.ndarray] = {}
+        for layer_name, layer in self._named_layers():
+            for param_name, value in layer.params.items():
+                weights[f"{layer_name}.{param_name}"] = np.array(value, copy=True)
+        return weights
+
+    def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_weights` (copied in place)."""
+        for layer_name, layer in self._named_layers():
+            for param_name, value in layer.params.items():
+                key = f"{layer_name}.{param_name}"
+                if key not in weights:
+                    raise KeyError(f"missing weight {key!r} when loading into {self.name}")
+                incoming = weights[key]
+                if incoming.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: model {value.shape}, incoming {incoming.shape}"
+                    )
+                value[...] = incoming
+
+    def get_feature_weights(self) -> Dict[str, np.ndarray]:
+        """Weights of the feature section only (offloaded to strong clients)."""
+        return {
+            key: value
+            for key, value in self.get_weights().items()
+            if key.startswith(self.FEATURE_PREFIX + ".")
+        }
+
+    def get_classifier_weights(self) -> Dict[str, np.ndarray]:
+        """Weights of the classifier section only (kept by the weak client)."""
+        return {
+            key: value
+            for key, value in self.get_weights().items()
+            if key.startswith(self.CLASSIFIER_PREFIX + ".")
+        }
+
+    def set_partial_weights(self, weights: Dict[str, np.ndarray]) -> None:
+        """Load a subset of weights (e.g. only the feature section)."""
+        full = self.get_weights()
+        for key, value in weights.items():
+            if key not in full:
+                raise KeyError(f"unknown weight {key!r} for model {self.name}")
+            full[key] = value
+        self.set_weights(full)
+
+    # ------------------------------------------------------------- inference
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Full forward pass returning logits."""
+        h = x
+        for layer in self.feature_layers:
+            h = layer.forward(h, training)
+        for layer in self.classifier_layers:
+            h = layer.forward(h, training)
+        return h
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels for a batch of inputs."""
+        return np.argmax(self.forward(x, training=False), axis=1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class probabilities for a batch of inputs."""
+        return softmax(self.forward(x, training=False))
+
+    # -------------------------------------------------------------- training
+    def zero_grad(self) -> None:
+        for _, layer in self._named_layers():
+            layer.zero_grad()
+
+    def freeze_features(self) -> None:
+        """Freeze the feature layers (skip ``bf`` and feature updates)."""
+        self.features_frozen = True
+
+    def unfreeze_features(self) -> None:
+        """Undo :meth:`freeze_features`."""
+        self.features_frozen = False
+
+    def freeze_classifier(self) -> None:
+        """Freeze the classifier parameters (used by strong clients that train
+        offloaded feature layers: the classifier backward pass still runs so
+        gradients reach the features, but classifier weights are not updated)."""
+        self.classifier_frozen = True
+
+    def unfreeze_classifier(self) -> None:
+        """Undo :meth:`freeze_classifier`."""
+        self.classifier_frozen = False
+
+    def _trainable_params(self) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        params: Dict[str, np.ndarray] = {}
+        grads: Dict[str, np.ndarray] = {}
+        for layer_name, layer in self._named_layers():
+            if self.features_frozen and layer_name.startswith(self.FEATURE_PREFIX + "."):
+                continue
+            if self.classifier_frozen and layer_name.startswith(self.CLASSIFIER_PREFIX + "."):
+                continue
+            for param_name, value in layer.params.items():
+                key = f"{layer_name}.{param_name}"
+                params[key] = value
+                grads[key] = layer.grads[param_name]
+        return params, grads
+
+    def train_batch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimizer: Optional[Optimizer] = None,
+    ) -> Tuple[float, PhaseTrace]:
+        """Run one training step on a mini-batch.
+
+        Executes the four phases in order, accumulating per-phase FLOPs into
+        a :class:`PhaseTrace`.  When the feature layers are frozen the ``bf``
+        phase is skipped entirely, which is exactly the saving that Aergia's
+        weak clients realise after offloading.
+
+        Parameters
+        ----------
+        x, y:
+            Input batch and integer labels.
+        optimizer:
+            Optimiser applied to the (unfrozen) parameters; when ``None``
+            gradients are computed but no update is applied.
+
+        Returns
+        -------
+        tuple
+            ``(loss, phase_trace)``.
+        """
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"batch size mismatch: x has {x.shape[0]} rows, y has {y.shape[0]}")
+        self.zero_grad()
+        trace = PhaseTrace()
+
+        # Phase ff: forward through the feature layers.
+        h = x
+        for layer in self.feature_layers:
+            h = layer.forward(h, training=True)
+            trace.add(Phase.FORWARD_FEATURES, layer.last_forward_flops)
+
+        # Phase fc: forward through the classifier layers.
+        logits = h
+        for layer in self.classifier_layers:
+            logits = layer.forward(logits, training=True)
+            trace.add(Phase.FORWARD_CLASSIFIER, layer.last_forward_flops)
+
+        loss, grad = self.loss_fn.forward_backward(logits, y)
+
+        # Phase bc: backward through the classifier layers.
+        for layer in reversed(self.classifier_layers):
+            grad = layer.backward(grad)
+            trace.add(Phase.BACKWARD_CLASSIFIER, layer.last_backward_flops)
+
+        # Phase bf: backward through the feature layers (skipped when frozen).
+        if not self.features_frozen:
+            for layer in reversed(self.feature_layers):
+                grad = layer.backward(grad)
+                trace.add(Phase.BACKWARD_FEATURES, layer.last_backward_flops)
+
+        if optimizer is not None:
+            params, grads = self._trainable_params()
+            optimizer.step(params, grads)
+
+        return loss, trace
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> Tuple[float, float]:
+        """Compute mean loss and accuracy over a dataset.
+
+        Evaluation is performed in mini-batches to bound memory use on the
+        larger synthetic datasets.
+        """
+        if x.shape[0] == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
+        total_loss = 0.0
+        correct = 0
+        n = x.shape[0]
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.forward(xb, training=False)
+            total_loss += self.loss_fn.forward(logits, yb) * xb.shape[0]
+            correct += int((np.argmax(logits, axis=1) == yb).sum())
+        return total_loss / n, correct / n
+
+    def phase_trace_for_batch(self, x: np.ndarray, y: np.ndarray) -> PhaseTrace:
+        """Measure per-phase FLOPs of one batch without updating weights."""
+        weights = self.get_weights()
+        _, trace = self.train_batch(x, y, optimizer=None)
+        self.set_weights(weights)
+        return trace
+
+    def clone_architecture(self) -> "SplitCNN":
+        """Create a structurally identical model with freshly initialised weights.
+
+        The clone shares no arrays with the original; callers typically
+        follow up with :meth:`set_weights` to copy the state.
+        """
+        import copy
+
+        clone = copy.deepcopy(self)
+        clone.unfreeze_features()
+        clone.unfreeze_classifier()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SplitCNN(name={self.name!r}, features={len(self.feature_layers)} layers, "
+            f"classifier={len(self.classifier_layers)} layers, params={self.num_parameters()})"
+        )

@@ -1,0 +1,106 @@
+"""Optimisers used by clients during local training.
+
+Two optimisers are needed by the reproduction:
+
+* :class:`SGD` — plain stochastic gradient descent with optional momentum
+  and weight decay, used by FedAvg, FedNova, TiFL, Aergia and the deadline
+  baseline.
+* :class:`ProximalSGD` — SGD with the FedProx proximal term
+  ``(mu / 2) * ||w - w_global||^2`` added to the local objective, realised
+  as an extra ``mu * (w - w_global)`` term in the gradient.
+
+Optimisers update parameter arrays **in place** so that composite layers
+(e.g. :class:`repro.nn.layers.ResidualBlock`) that expose views of their
+sub-layer parameters keep observing the updated values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class Optimizer:
+    """Interface shared by all optimisers."""
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        """Apply one update to ``params`` given ``grads`` (in place)."""
+        raise NotImplementedError
+
+    def reset_state(self) -> None:
+        """Drop any internal state (momentum buffers, anchors)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        for key, param in params.items():
+            grad = grads[key]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            if self.momentum:
+                velocity = self._velocity.get(key)
+                if velocity is None:
+                    velocity = np.zeros_like(param)
+                velocity = self.momentum * velocity + grad
+                self._velocity[key] = velocity
+                update = velocity
+            else:
+                update = grad
+            param -= self.lr * update
+
+    def reset_state(self) -> None:
+        self._velocity.clear()
+
+
+class ProximalSGD(SGD):
+    """SGD with the FedProx proximal term.
+
+    The anchor (global) weights must be set with :meth:`set_anchor` at the
+    start of each local training pass; the gradient of the proximal term is
+    then ``mu * (w - w_anchor)``.  With ``mu = 0`` the optimiser degrades to
+    plain SGD, matching the FedProx formulation.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        mu: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(lr=lr, momentum=momentum, weight_decay=weight_decay)
+        if mu < 0:
+            raise ValueError(f"mu must be non-negative, got {mu}")
+        self.mu = mu
+        self._anchor: Optional[Dict[str, np.ndarray]] = None
+
+    def set_anchor(self, weights: Dict[str, np.ndarray]) -> None:
+        """Record the global model weights the proximal term pulls towards."""
+        self._anchor = {key: np.array(value, copy=True) for key, value in weights.items()}
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        if self.mu and self._anchor is not None:
+            grads = {
+                key: grads[key] + self.mu * (params[key] - self._anchor[key])
+                if key in self._anchor
+                else grads[key]
+                for key in params
+            }
+        super().step(params, grads)
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._anchor = None

@@ -1,0 +1,54 @@
+"""Discrete-event simulation of a heterogeneous federated-learning cluster.
+
+The paper runs its evaluation on a Kubernetes testbed of 24 Docker
+containers whose CPU shares are throttled to fractions between 0.1 and 1.0
+of a core.  This package replaces that testbed with a discrete-event
+simulator:
+
+* :mod:`repro.simulation.events` — the virtual clock and event queue,
+* :mod:`repro.simulation.clock` — per-client local clocks with frequency
+  skew (the paper assumes unsynchronised clocks of similar frequency),
+* :mod:`repro.simulation.resources` — per-client compute-speed profiles,
+  including the uniform [0.1, 1.0] sampling of the paper and transient
+  background load,
+* :mod:`repro.simulation.cost` — the cost model translating per-phase FLOP
+  counts of the numpy substrate into virtual seconds,
+* :mod:`repro.simulation.network` — an asynchronous, reliable, peer-to-peer
+  message layer with per-link latency and bandwidth,
+* :mod:`repro.simulation.cluster` — glue that wires nodes, resources and
+  the network into a cluster object experiments can use.
+
+All timing-related results of the reproduction (round durations, deadlines,
+profiling reports, offloading decisions) are measured in this virtual time.
+"""
+
+from repro.simulation.events import Event, EventQueue, SimulationEnvironment
+from repro.simulation.clock import LocalClock
+from repro.simulation.resources import (
+    ResourceProfile,
+    TransientLoad,
+    uniform_speed_profiles,
+    tiered_speed_profiles,
+    speeds_with_variance,
+)
+from repro.simulation.cost import ComputeCostModel
+from repro.simulation.network import LinkSpec, Network, Message
+from repro.simulation.cluster import SimulatedCluster, Node
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationEnvironment",
+    "LocalClock",
+    "ResourceProfile",
+    "TransientLoad",
+    "uniform_speed_profiles",
+    "tiered_speed_profiles",
+    "speeds_with_variance",
+    "ComputeCostModel",
+    "LinkSpec",
+    "Network",
+    "Message",
+    "SimulatedCluster",
+    "Node",
+]

@@ -1,0 +1,76 @@
+"""Per-client local clocks with bounded frequency skew.
+
+The paper's system model (§3.1) assumes that clients have local clocks that
+are *not* synchronised but run at similar frequencies, and that the
+federator does not need a clock of its own.  The online profiler therefore
+reports durations measured on the client's local clock.  :class:`LocalClock`
+models that: it converts global virtual time into a client-local reading
+with a constant offset and a small frequency drift, and measures elapsed
+durations the way a client would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.simulation.events import SimulationEnvironment
+
+
+class LocalClock:
+    """A client-local clock derived from the global virtual clock.
+
+    Parameters
+    ----------
+    env:
+        The shared simulation environment providing global virtual time.
+    offset:
+        Constant offset of this clock relative to global time (seconds).
+    drift:
+        Relative frequency error; a drift of ``1e-4`` means the clock runs
+        0.01 % fast.  Durations measured with :meth:`elapsed` are scaled by
+        ``(1 + drift)``, which is how skew would contaminate real profiling
+        measurements.
+    """
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        offset: float = 0.0,
+        drift: float = 0.0,
+    ) -> None:
+        if abs(drift) >= 0.1:
+            raise ValueError(
+                f"drift of {drift} is implausibly large; the paper assumes similar frequencies"
+            )
+        self._env = env
+        self.offset = offset
+        self.drift = drift
+
+    def now(self) -> float:
+        """Current local-clock reading."""
+        return self.offset + (1.0 + self.drift) * self._env.now
+
+    def elapsed(self, since_local_time: float) -> float:
+        """Duration elapsed since a previous :meth:`now` reading."""
+        return self.now() - since_local_time
+
+    def measure(self, global_duration: float) -> float:
+        """Duration this clock would report for a global-time interval."""
+        if global_duration < 0:
+            raise ValueError("durations cannot be negative")
+        return (1.0 + self.drift) * global_duration
+
+    @staticmethod
+    def random(
+        env: SimulationEnvironment,
+        rng: Optional[np.random.Generator] = None,
+        max_offset: float = 5.0,
+        max_drift: float = 1e-3,
+    ) -> "LocalClock":
+        """Create a clock with random offset and drift within sane bounds."""
+        rng = rng if rng is not None else np.random.default_rng()
+        offset = float(rng.uniform(-max_offset, max_offset))
+        drift = float(rng.uniform(-max_drift, max_drift))
+        return LocalClock(env, offset=offset, drift=drift)

@@ -1,0 +1,118 @@
+"""Cluster container wiring nodes, resources and the network together.
+
+A :class:`SimulatedCluster` is the reproduction's stand-in for the paper's
+Kubernetes deployment: it owns the simulation environment, the network and
+the per-node resource profiles, and provides node registration so that the
+federated-learning runtime (:mod:`repro.fl`) can be built on top of it
+without knowing about simulation internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.simulation.clock import LocalClock
+from repro.simulation.cost import ComputeCostModel
+from repro.simulation.events import SimulationEnvironment
+from repro.simulation.network import LinkSpec, Message, Network
+from repro.simulation.resources import ResourceProfile
+
+
+FEDERATOR_ID = "federator"
+
+
+@dataclass
+class Node:
+    """A registered cluster node (client or federator)."""
+
+    node_id: Any
+    profile: Optional[ResourceProfile]
+    clock: LocalClock
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class SimulatedCluster:
+    """The simulated deployment hosting a federated-learning experiment.
+
+    Parameters
+    ----------
+    client_profiles:
+        One :class:`ResourceProfile` per client; client ids are the indices
+        into this list.
+    default_link:
+        Network characteristics used for every pair of nodes unless
+        overridden with :meth:`network.set_link`.
+    cost_model:
+        FLOPs-to-seconds translation shared by all clients.
+    seed:
+        Seed for clock skews and any other cluster-level randomness.
+    """
+
+    def __init__(
+        self,
+        client_profiles: List[ResourceProfile],
+        default_link: Optional[LinkSpec] = None,
+        cost_model: Optional[ComputeCostModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if not client_profiles:
+            raise ValueError("a cluster needs at least one client profile")
+        self.env = SimulationEnvironment()
+        self.network = Network(self.env, default_link=default_link)
+        self.cost_model = cost_model if cost_model is not None else ComputeCostModel()
+        self._rng = np.random.default_rng(seed)
+        self.nodes: Dict[Any, Node] = {}
+
+        # Federator node: no resource profile (it is assumed correct and
+        # never the computational bottleneck in the paper).
+        self.nodes[FEDERATOR_ID] = Node(
+            node_id=FEDERATOR_ID,
+            profile=None,
+            clock=LocalClock(self.env),
+        )
+        for client_id, profile in enumerate(client_profiles):
+            self.nodes[client_id] = Node(
+                node_id=client_id,
+                profile=profile,
+                clock=LocalClock.random(self.env, rng=self._rng),
+            )
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.nodes) - 1
+
+    @property
+    def client_ids(self) -> List[int]:
+        return [node_id for node_id in self.nodes if node_id != FEDERATOR_ID]
+
+    def profile(self, client_id: int) -> ResourceProfile:
+        """Resource profile of a client."""
+        node = self.nodes.get(client_id)
+        if node is None or node.profile is None:
+            raise KeyError(f"no client with id {client_id!r}")
+        return node.profile
+
+    def register_handler(self, node_id: Any, handler: Callable[[Message], None]) -> None:
+        """Register a node's message handler with the network."""
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        self.network.register(node_id, handler)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation until the event queue drains; returns the end time."""
+        self.env.run(until=until, max_events=max_events)
+        return self.env.now
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary of the cluster configuration, useful in experiment logs."""
+        speeds = [self.profile(cid).speed_fraction for cid in self.client_ids]
+        return {
+            "num_clients": self.num_clients,
+            "speed_min": float(np.min(speeds)),
+            "speed_max": float(np.max(speeds)),
+            "speed_mean": float(np.mean(speeds)),
+            "speed_std": float(np.std(speeds)),
+        }

@@ -1,0 +1,85 @@
+"""Cost model translating FLOP counts into virtual seconds.
+
+The numpy substrate reports per-phase FLOP counts for every training batch
+(:class:`repro.nn.model.PhaseTrace`).  The cost model divides those counts
+by a client's effective compute rate to obtain the virtual-time duration of
+the batch, which is how the reproduction recreates the heterogeneous
+per-phase timings of the paper's throttled containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.nn.model import Phase, PhaseTrace
+from repro.simulation.resources import ResourceProfile
+
+
+@dataclass
+class ComputeCostModel:
+    """Converts FLOPs to seconds for a given client resource profile.
+
+    Attributes
+    ----------
+    overhead_seconds_per_batch:
+        Fixed per-batch framework overhead (data loading, Python
+        dispatching); a small constant so that extremely small models do
+        not train in zero virtual time.
+    """
+
+    overhead_seconds_per_batch: float = 1e-3
+
+    def phase_seconds(
+        self, trace: PhaseTrace, profile: ResourceProfile, time: float = 0.0
+    ) -> Dict[Phase, float]:
+        """Duration of each training phase for one batch."""
+        rate = profile.effective_rate(time)
+        return {phase: trace.flops[phase] / rate for phase in Phase}
+
+    def batch_seconds(
+        self, trace: PhaseTrace, profile: ResourceProfile, time: float = 0.0
+    ) -> float:
+        """Total duration of one full training batch."""
+        return sum(self.phase_seconds(trace, profile, time).values()) + self.overhead_seconds_per_batch
+
+    def frozen_batch_seconds(
+        self, trace: PhaseTrace, profile: ResourceProfile, time: float = 0.0
+    ) -> float:
+        """Duration of a batch when the feature layers are frozen (no ``bf``)."""
+        seconds = self.phase_seconds(trace, profile, time)
+        return (
+            seconds[Phase.FORWARD_FEATURES]
+            + seconds[Phase.FORWARD_CLASSIFIER]
+            + seconds[Phase.BACKWARD_CLASSIFIER]
+            + self.overhead_seconds_per_batch
+        )
+
+    def feature_training_seconds(
+        self, trace: PhaseTrace, profile: ResourceProfile, time: float = 0.0
+    ) -> float:
+        """Duration of training only the feature (convolutional) layers.
+
+        This is the cost a strong client pays per batch when it trains an
+        offloaded frozen model: forward through the features, forward
+        through the (kept-fixed) classifier to obtain the loss, and the
+        feature backward pass.  The classifier weight-gradient computation
+        is skipped because the classifier stays frozen on the strong client;
+        only the (comparatively negligible) input-gradient of the classifier
+        is needed to reach the feature layers.  This matches the ``x_b``
+        input of Algorithm 2 (the "training time of only the conv layer for
+        client b").
+        """
+        seconds = self.phase_seconds(trace, profile, time)
+        return (
+            seconds[Phase.FORWARD_FEATURES]
+            + seconds[Phase.FORWARD_CLASSIFIER]
+            + seconds[Phase.BACKWARD_FEATURES]
+            + self.overhead_seconds_per_batch
+        )
+
+    def seconds_for_flops(
+        self, flops: float, profile: ResourceProfile, time: float = 0.0
+    ) -> float:
+        """Duration of an arbitrary amount of computation."""
+        return profile.seconds_for_flops(flops, time)

@@ -1,0 +1,138 @@
+"""Virtual clock and discrete-event queue.
+
+The simulation advances time only when events fire; computation and message
+transfers are modelled by scheduling their completion at
+``now + duration``.  Events scheduled for the same instant fire in FIFO
+order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, sequence)`` so that ties are broken by
+    insertion order.  A cancelled event stays in the heap but is skipped
+    when popped.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class SimulationEnvironment:
+    """The simulation's global virtual clock and scheduler.
+
+    All actors (federator, clients, network) share one environment.  The
+    typical usage pattern is::
+
+        env = SimulationEnvironment()
+        env.schedule(0.0, federator.start)
+        env.run()
+
+    after which ``env.now`` holds the virtual time at which the last event
+    fired.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now: float = 0.0
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (useful for debugging/limits)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past (time={time}, now={self.now})"
+            )
+        return self._queue.push(time, callback)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the queue drains (or a limit is reached).
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this virtual time.
+            The clock is advanced to ``until`` in that case.
+        max_events:
+            Safety limit on the number of events to process.
+        """
+        processed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._queue.pop()
+            if event is None:  # pragma: no cover - guarded by peek_time
+                break
+            self.now = event.time
+            event.callback()
+            processed += 1
+            self._events_processed += 1
+
+    def pending_events(self) -> int:
+        """Number of events still waiting to fire."""
+        return len(self._queue)

@@ -1,0 +1,166 @@
+"""Asynchronous, reliable, peer-to-peer message layer.
+
+The paper's testbed uses RPC between fully isolated nodes: communication is
+asynchronous (no bound on delivery time) but reliable (every message
+eventually arrives), and clients can message each other directly without
+going through the federator (§3.1, §5.1).  This module models that layer on
+top of the discrete-event simulator: every ``send`` schedules a delivery
+event after a per-link latency plus a size-dependent transmission time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.simulation.events import SimulationEnvironment
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Latency and bandwidth of a (directed) network link."""
+
+    latency_s: float = 0.01
+    bandwidth_bytes_per_s: float = 125e6  # 1 Gbit/s
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Time to deliver a payload of ``num_bytes`` over this link."""
+        if num_bytes < 0:
+            raise ValueError("payload size cannot be negative")
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class Message:
+    """A message exchanged between simulated nodes.
+
+    Attributes
+    ----------
+    sender, recipient:
+        Node identifiers (the federator uses the reserved id ``"federator"``;
+        clients use their integer index as a string or int).
+    kind:
+        Message type tag (see :mod:`repro.fl.messages`).
+    payload:
+        Arbitrary message body.
+    round_number:
+        Global training round the message belongs to; lets recipients drop
+        stale messages, as required by the paper (§3.3, §4.1).
+    size_bytes:
+        Payload size charged to the network; model transfers use the actual
+        byte size of the weight arrays.
+    sent_at, delivered_at:
+        Timestamps filled in by the network layer.
+    """
+
+    sender: Any
+    recipient: Any
+    kind: str
+    payload: Any = None
+    round_number: int = -1
+    size_bytes: float = 1024.0
+    sent_at: float = field(default=0.0, compare=False)
+    delivered_at: float = field(default=0.0, compare=False)
+
+
+def payload_size_bytes(payload: Any) -> float:
+    """Best-effort estimate of a payload's size in bytes.
+
+    Dictionaries of numpy arrays (model weights) are measured exactly;
+    other payloads are charged a small constant for headers/metadata.
+    """
+    if isinstance(payload, np.ndarray):
+        return float(payload.nbytes)
+    if isinstance(payload, dict):
+        total = 0.0
+        for value in payload.values():
+            total += payload_size_bytes(value)
+        return max(total, 128.0)
+    if isinstance(payload, (list, tuple)):
+        return max(sum(payload_size_bytes(v) for v in payload), 128.0)
+    return 256.0
+
+
+class Network:
+    """Message router with per-link latency/bandwidth.
+
+    Nodes register a handler with :meth:`register`; :meth:`send` schedules
+    the handler invocation after the link's transfer time.  Per-pair link
+    overrides allow experiments with heterogeneous connectivity.
+    """
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        default_link: Optional[LinkSpec] = None,
+    ) -> None:
+        self._env = env
+        self._default_link = default_link if default_link is not None else LinkSpec()
+        self._links: Dict[Tuple[Any, Any], LinkSpec] = {}
+        self._handlers: Dict[Any, Callable[[Message], None]] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def register(self, node_id: Any, handler: Callable[[Message], None]) -> None:
+        """Register the message handler for a node."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id!r} is already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: Any) -> None:
+        """Remove a node's handler (messages to it are then rejected)."""
+        self._handlers.pop(node_id, None)
+
+    def set_link(self, src: Any, dst: Any, spec: LinkSpec) -> None:
+        """Override the link characteristics for the directed pair (src, dst)."""
+        self._links[(src, dst)] = spec
+
+    def link(self, src: Any, dst: Any) -> LinkSpec:
+        """The link spec used for the directed pair (src, dst)."""
+        return self._links.get((src, dst), self._default_link)
+
+    def transfer_time(self, src: Any, dst: Any, num_bytes: float) -> float:
+        """Delivery time of a payload between two nodes."""
+        return self.link(src, dst).transfer_time(num_bytes)
+
+    def send(
+        self,
+        sender: Any,
+        recipient: Any,
+        kind: str,
+        payload: Any = None,
+        round_number: int = -1,
+        size_bytes: Optional[float] = None,
+    ) -> Message:
+        """Send a message; delivery is scheduled on the event queue."""
+        if recipient not in self._handlers:
+            raise KeyError(f"unknown recipient {recipient!r}")
+        size = size_bytes if size_bytes is not None else payload_size_bytes(payload)
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            round_number=round_number,
+            size_bytes=size,
+            sent_at=self._env.now,
+        )
+        delay = self.transfer_time(sender, recipient, size)
+        handler = self._handlers[recipient]
+
+        def deliver() -> None:
+            message.delivered_at = self._env.now
+            handler(message)
+
+        self._env.schedule(delay, deliver)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        return message

@@ -1,0 +1,172 @@
+"""Client compute-resource profiles.
+
+The paper's heterogeneous resource setup (§5.1) assigns each of the 24
+clients a CPU speed drawn uniformly at random from [0.1, 1.0] of a core,
+enforced with Docker CPU throttling.  The motivation experiment (Figure
+1(a)) instead controls the *variance* of the client speeds around a fixed
+mean of 0.5 CPU.  Both samplers are implemented here, together with the
+discrete weak/medium/strong tiers mentioned in the introduction and a
+transient background-load model (§3.1 allows client load to evolve over
+time because of collocated applications).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TransientLoad:
+    """Time-varying background load stealing compute from a client.
+
+    The effective speed of the client at time ``t`` is multiplied by
+    ``1 - amplitude`` while the load is active.  The load is active
+    periodically: it switches on every ``period`` seconds for ``duty *
+    period`` seconds, starting at ``phase``.
+    """
+
+    amplitude: float = 0.3
+    period: float = 120.0
+    duty: float = 0.25
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError("duty must be in [0, 1]")
+
+    def multiplier(self, time: float) -> float:
+        """Speed multiplier at virtual time ``time``."""
+        position = math.fmod(time - self.phase, self.period)
+        if position < 0:
+            position += self.period
+        active = position < self.duty * self.period
+        return 1.0 - self.amplitude if active else 1.0
+
+
+@dataclass
+class ResourceProfile:
+    """The compute capability of one simulated client.
+
+    Attributes
+    ----------
+    speed_fraction:
+        Fraction of a reference core available to this client (the paper
+        uses values in [0.1, 1.0]).
+    base_flops_per_second:
+        Throughput of the reference core.  The absolute value only scales
+        virtual time globally; relative comparisons between algorithms are
+        unaffected by it.
+    transient_load:
+        Optional time-varying background load.
+    """
+
+    speed_fraction: float
+    base_flops_per_second: float = 2.0e9
+    transient_load: Optional[TransientLoad] = None
+
+    def __post_init__(self) -> None:
+        if self.speed_fraction <= 0:
+            raise ValueError(f"speed_fraction must be positive, got {self.speed_fraction}")
+        if self.base_flops_per_second <= 0:
+            raise ValueError("base_flops_per_second must be positive")
+
+    def effective_rate(self, time: float = 0.0) -> float:
+        """FLOP/s available to the client at virtual time ``time``."""
+        rate = self.speed_fraction * self.base_flops_per_second
+        if self.transient_load is not None:
+            rate *= self.transient_load.multiplier(time)
+        return rate
+
+    def seconds_for_flops(self, flops: float, time: float = 0.0) -> float:
+        """Virtual seconds needed to execute ``flops`` starting at ``time``."""
+        if flops < 0:
+            raise ValueError("flops cannot be negative")
+        return flops / self.effective_rate(time)
+
+
+def uniform_speed_profiles(
+    num_clients: int,
+    low: float = 0.1,
+    high: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    base_flops_per_second: float = 2.0e9,
+) -> List[ResourceProfile]:
+    """The paper's heterogeneous setup: speeds uniform in ``[low, high]``."""
+    if num_clients < 1:
+        raise ValueError("num_clients must be at least 1")
+    if not 0 < low <= high:
+        raise ValueError(f"invalid speed range [{low}, {high}]")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    speeds = rng.uniform(low, high, size=num_clients)
+    return [
+        ResourceProfile(speed_fraction=float(s), base_flops_per_second=base_flops_per_second)
+        for s in speeds
+    ]
+
+
+def tiered_speed_profiles(
+    num_clients: int,
+    tiers: Sequence[float] = (0.25, 0.5, 1.0),
+    rng: Optional[np.random.Generator] = None,
+    base_flops_per_second: float = 2.0e9,
+) -> List[ResourceProfile]:
+    """Discrete weak/medium/strong tiers (clients assigned round-robin)."""
+    if num_clients < 1:
+        raise ValueError("num_clients must be at least 1")
+    if not tiers or any(t <= 0 for t in tiers):
+        raise ValueError("tiers must be a non-empty sequence of positive speeds")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    assignments = rng.permutation([tiers[i % len(tiers)] for i in range(num_clients)])
+    return [
+        ResourceProfile(speed_fraction=float(s), base_flops_per_second=base_flops_per_second)
+        for s in assignments
+    ]
+
+
+def speeds_with_variance(
+    num_clients: int,
+    mean: float = 0.5,
+    variance: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+    base_flops_per_second: float = 2.0e9,
+    min_speed: float = 0.1,
+    max_speed: float = 1.0,
+) -> List[ResourceProfile]:
+    """Speeds with a controlled mean and variance (Figure 1(a) sweep).
+
+    Speeds are clipped to the paper's [0.1, 1.0] CPU-fraction range, so the
+    worst-case straggler slowdown saturates at roughly ``mean / min_speed``.
+
+    Speeds are drawn from a normal distribution with the requested mean and
+    variance, clipped to ``[min_speed, max_speed]``, then rescaled so that
+    the sample mean matches ``mean`` exactly.  With ``variance == 0`` every
+    client gets exactly ``mean``.
+    """
+    if num_clients < 1:
+        raise ValueError("num_clients must be at least 1")
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    if not 0 < mean <= max_speed:
+        raise ValueError(f"mean must be in (0, {max_speed}]")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if variance == 0:
+        speeds = np.full(num_clients, mean)
+    else:
+        speeds = rng.normal(mean, math.sqrt(variance), size=num_clients)
+        speeds = np.clip(speeds, min_speed, max_speed)
+        # Rescale towards the requested mean while respecting the bounds.
+        current_mean = speeds.mean()
+        if current_mean > 0:
+            speeds = np.clip(speeds * (mean / current_mean), min_speed, max_speed)
+    return [
+        ResourceProfile(speed_fraction=float(s), base_flops_per_second=base_flops_per_second)
+        for s in speeds
+    ]

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Tests always run at the tiny "smoke" scale so the whole suite stays fast;
+the benchmark harness uses the larger "bench"/"full" scales.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Make the repository root importable so the example scripts (which are not
+# part of the installed package) can be exercised by the test suite.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.data.datasets import make_dataset
+from repro.fl.config import ExperimentConfig, ResourceConfig
+from repro.nn.architectures import build_model
+
+
+@pytest.fixture(autouse=True)
+def _smoke_scale(monkeypatch):
+    """Force the smoke scale for any experiment-harness code under test."""
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A tiny but learnable 3-class image dataset (8x8 grayscale)."""
+    return make_dataset(
+        "tiny", (1, 8, 8), num_classes=3, train_size=90, test_size=30, noise=0.2, seed=5
+    )
+
+
+@pytest.fixture
+def small_mnist():
+    """A small MNIST-shaped dataset for model/integration tests."""
+    return make_dataset(
+        "mnist", (1, 28, 28), num_classes=10, train_size=200, test_size=60, noise=0.3, seed=3
+    )
+
+
+@pytest.fixture
+def mnist_model(rng):
+    return build_model("mnist-cnn", rng=rng)
+
+
+@pytest.fixture
+def smoke_config() -> ExperimentConfig:
+    """A minimal end-to-end experiment configuration."""
+    return ExperimentConfig(
+        dataset="mnist",
+        architecture="mnist-cnn",
+        algorithm="fedavg",
+        num_clients=4,
+        rounds=2,
+        local_updates=5,
+        profile_batches=2,
+        train_size=320,
+        test_size=80,
+        batch_size=16,
+        resources=ResourceConfig(scheme="uniform", low=0.1, high=1.0),
+        seed=7,
+    )

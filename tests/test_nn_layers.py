@@ -1,0 +1,246 @@
+"""Unit tests for the numpy layers: shapes, gradients and FLOP accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, ResidualBlock
+
+
+def numerical_gradient(f, x, eps=1e-5):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = f()
+        x[idx] = original - eps
+        f_minus = f()
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_input_gradient(layer, x, tol=1e-5):
+    """Verify the layer's input gradient against numerical differentiation."""
+    out = layer.forward(x, training=True)
+    upstream = np.random.default_rng(0).normal(size=out.shape)
+
+    def scalar():
+        return float(np.sum(layer.forward(x, training=False) * upstream))
+
+    analytic = layer.backward(upstream)
+    numeric = numerical_gradient(scalar, x)
+    assert np.allclose(analytic, numeric, atol=tol, rtol=1e-3)
+
+
+def check_param_gradient(layer, x, param_key, tol=1e-5):
+    """Verify a parameter gradient against numerical differentiation."""
+    out = layer.forward(x, training=True)
+    upstream = np.random.default_rng(1).normal(size=out.shape)
+    layer.zero_grad()
+    layer.forward(x, training=True)
+    layer.backward(upstream)
+    analytic = layer.grads[param_key].copy()
+
+    param = layer.params[param_key]
+
+    def scalar():
+        return float(np.sum(layer.forward(x, training=False) * upstream))
+
+    numeric = numerical_gradient(scalar, param)
+    assert np.allclose(analytic, numeric, atol=tol, rtol=1e-3)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(6, 4, rng=rng)
+        out = layer.forward(rng.normal(size=(3, 6)))
+        assert out.shape == (3, 4)
+
+    def test_output_shape_metadata(self, rng):
+        layer = Dense(6, 4, rng=rng)
+        assert layer.output_shape((6,)) == (4,)
+
+    def test_input_gradient(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        check_input_gradient(layer, rng.normal(size=(2, 5)))
+
+    def test_weight_gradient(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        check_param_gradient(layer, rng.normal(size=(2, 5)), "W")
+
+    def test_bias_gradient(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        check_param_gradient(layer, rng.normal(size=(2, 5)), "b")
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(2, 3)))
+
+    def test_flops_accounting(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        layer.forward(rng.normal(size=(4, 5)), training=True)
+        assert layer.last_forward_flops == 2 * 4 * 5 * 3
+        layer.backward(rng.normal(size=(4, 3)))
+        assert layer.last_backward_flops == 4 * 4 * 5 * 3
+
+    def test_num_parameters(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        assert layer.num_parameters() == 5 * 3 + 3
+
+
+class TestConv2D:
+    def test_forward_shape_with_padding(self, rng):
+        layer = Conv2D(2, 4, 3, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 2, 8, 8)))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_forward_shape_with_stride(self, rng):
+        layer = Conv2D(1, 2, 3, stride=2, rng=rng)
+        out = layer.forward(rng.normal(size=(1, 1, 9, 9)))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_output_shape_metadata(self, rng):
+        layer = Conv2D(2, 4, 3, padding=1, rng=rng)
+        assert layer.output_shape((2, 8, 8)) == (4, 8, 8)
+
+    def test_input_gradient(self, rng):
+        layer = Conv2D(2, 3, 3, padding=1, rng=rng)
+        check_input_gradient(layer, rng.normal(size=(2, 2, 5, 5)))
+
+    def test_weight_gradient(self, rng):
+        layer = Conv2D(1, 2, 3, rng=rng)
+        check_param_gradient(layer, rng.normal(size=(2, 1, 5, 5)), "W")
+
+    def test_bias_gradient(self, rng):
+        layer = Conv2D(1, 2, 3, rng=rng)
+        check_param_gradient(layer, rng.normal(size=(2, 1, 5, 5)), "b")
+
+    def test_matches_manual_convolution(self, rng):
+        layer = Conv2D(1, 1, 2, rng=rng)
+        x = rng.normal(size=(1, 1, 3, 3))
+        out = layer.forward(x)
+        w = layer.params["W"][0, 0]
+        b = layer.params["b"][0]
+        expected = np.array(
+            [
+                [np.sum(x[0, 0, i : i + 2, j : j + 2] * w) + b for j in range(2)]
+                for i in range(2)
+            ]
+        )
+        assert np.allclose(out[0, 0], expected)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Conv2D(1, 1, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(1, 1, 3, 3)))
+
+    def test_flops_positive(self, rng):
+        layer = Conv2D(2, 3, 3, padding=1, rng=rng)
+        layer.forward(rng.normal(size=(2, 2, 6, 6)), training=True)
+        assert layer.last_forward_flops > 0
+        layer.backward(rng.normal(size=(2, 3, 6, 6)))
+        assert layer.last_backward_flops > layer.last_forward_flops
+
+
+class TestMaxPool2D:
+    def test_forward_values(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_rejects_non_divisible_input(self):
+        layer = MaxPool2D(2)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 5, 5)))
+
+    def test_output_shape_metadata(self):
+        layer = MaxPool2D(2)
+        assert layer.output_shape((3, 8, 8)) == (3, 4, 4)
+        with pytest.raises(ValueError):
+            layer.output_shape((3, 7, 7))
+
+    def test_input_gradient(self, rng):
+        layer = MaxPool2D(2)
+        # Use well-separated values so the max is stable under perturbation.
+        x = rng.permutation(np.arange(32, dtype=float)).reshape(1, 2, 4, 4)
+        check_input_gradient(layer, x, tol=1e-4)
+
+    def test_gradient_routed_to_single_max(self):
+        layer = MaxPool2D(2)
+        x = np.zeros((1, 1, 2, 2))  # all equal -> tie
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 1, 1)))
+        # Only one element of the window receives the gradient despite the tie.
+        assert grad.sum() == pytest.approx(1.0)
+        assert (grad > 0).sum() == 1
+
+
+class TestReLUFlatten:
+    def test_relu_forward_and_gradient(self, rng):
+        layer = ReLU()
+        x = rng.normal(size=(3, 4))
+        out = layer.forward(x, training=True)
+        assert np.all(out >= 0)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad, (x > 0).astype(float))
+
+    def test_relu_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((2, 2)))
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 48)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+        assert np.allclose(back, x)
+
+    def test_flatten_output_shape(self):
+        assert Flatten().output_shape((3, 4, 4)) == (48,)
+
+
+class TestResidualBlock:
+    def test_forward_shape_identity_skip(self, rng):
+        block = ResidualBlock(3, 3, rng=rng)
+        out = block.forward(rng.normal(size=(2, 3, 6, 6)))
+        assert out.shape == (2, 3, 6, 6)
+        assert block.proj is None
+
+    def test_forward_shape_projection_skip(self, rng):
+        block = ResidualBlock(2, 5, rng=rng)
+        out = block.forward(rng.normal(size=(2, 2, 6, 6)))
+        assert out.shape == (2, 5, 6, 6)
+        assert block.proj is not None
+
+    def test_param_namespacing(self, rng):
+        block = ResidualBlock(2, 4, rng=rng)
+        keys = set(block.params)
+        assert {"conv1.W", "conv1.b", "conv2.W", "conv2.b", "proj.W", "proj.b"} == keys
+
+    def test_input_gradient(self, rng):
+        block = ResidualBlock(2, 2, rng=rng)
+        check_input_gradient(block, rng.normal(size=(1, 2, 4, 4)), tol=1e-4)
+
+    def test_param_views_alias_sublayers(self, rng):
+        block = ResidualBlock(2, 2, rng=rng)
+        # In-place updates through the flattened view must reach the sub-layer.
+        block.params["conv1.W"] -= 1.0
+        assert np.allclose(block.params["conv1.W"], block.conv1.params["W"])
+
+    def test_gradients_accumulate_after_backward(self, rng):
+        block = ResidualBlock(2, 2, rng=rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        out = block.forward(x, training=True)
+        block.backward(np.ones_like(out))
+        assert any(np.abs(g).sum() > 0 for g in block.grads.values())

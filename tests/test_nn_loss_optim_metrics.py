@@ -1,0 +1,210 @@
+"""Tests for the loss, optimisers, metrics and architecture registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.architectures import ARCHITECTURES, build_model
+from repro.nn.loss import CrossEntropyLoss, softmax
+from repro.nn.metrics import accuracy, top_k_accuracy
+from repro.nn.optim import ProximalSGD, SGD
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.normal(size=(4, 6))
+        assert np.allclose(softmax(logits), softmax(logits + 1000.0))
+
+    def test_loss_of_perfect_prediction_is_small(self):
+        logits = np.array([[20.0, 0.0, 0.0], [0.0, 20.0, 0.0]])
+        labels = np.array([0, 1])
+        assert CrossEntropyLoss().forward(logits, labels) < 1e-6
+
+    def test_loss_of_uniform_prediction(self):
+        logits = np.zeros((3, 4))
+        labels = np.array([0, 1, 2])
+        assert CrossEntropyLoss().forward(logits, labels) == pytest.approx(np.log(4))
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(3, 5))
+        labels = rng.integers(0, 5, size=3)
+        loss_fn = CrossEntropyLoss()
+        _, grad = loss_fn.forward_backward(logits, labels)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                plus, minus = logits.copy(), logits.copy()
+                plus[i, j] += eps
+                minus[i, j] -= eps
+                numeric[i, j] = (
+                    loss_fn.forward(plus, labels) - loss_fn.forward(minus, labels)
+                ) / (2 * eps)
+        assert np.allclose(grad, numeric, atol=1e-6)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_loss_is_nonnegative(self, n, classes):
+        rng = np.random.default_rng(n * 100 + classes)
+        logits = rng.normal(size=(n, classes))
+        labels = rng.integers(0, classes, size=n)
+        assert CrossEntropyLoss().forward(logits, labels) >= 0.0
+
+
+class TestSGD:
+    def test_plain_step(self):
+        optimizer = SGD(lr=0.1)
+        params = {"w": np.array([1.0, 2.0])}
+        grads = {"w": np.array([1.0, -1.0])}
+        optimizer.step(params, grads)
+        assert np.allclose(params["w"], [0.9, 2.1])
+
+    def test_update_is_in_place(self):
+        optimizer = SGD(lr=0.1)
+        w = np.array([1.0])
+        params = {"w": w}
+        optimizer.step(params, {"w": np.array([1.0])})
+        assert w[0] == pytest.approx(0.9)
+
+    def test_momentum_accumulates(self):
+        optimizer = SGD(lr=1.0, momentum=0.5)
+        params = {"w": np.array([0.0])}
+        grads = {"w": np.array([1.0])}
+        optimizer.step(params, grads)   # v=1, w=-1
+        optimizer.step(params, grads)   # v=1.5, w=-2.5
+        assert params["w"][0] == pytest.approx(-2.5)
+
+    def test_weight_decay(self):
+        optimizer = SGD(lr=0.1, weight_decay=0.1)
+        params = {"w": np.array([1.0])}
+        optimizer.step(params, {"w": np.array([0.0])})
+        assert params["w"][0] == pytest.approx(1.0 - 0.1 * 0.1)
+
+    def test_reset_state_clears_momentum(self):
+        optimizer = SGD(lr=1.0, momentum=0.9)
+        params = {"w": np.array([0.0])}
+        optimizer.step(params, {"w": np.array([1.0])})
+        optimizer.reset_state()
+        params = {"w": np.array([0.0])}
+        optimizer.step(params, {"w": np.array([1.0])})
+        assert params["w"][0] == pytest.approx(-1.0)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+
+
+class TestProximalSGD:
+    def test_zero_mu_matches_sgd(self):
+        prox = ProximalSGD(lr=0.1, mu=0.0)
+        sgd = SGD(lr=0.1)
+        p1 = {"w": np.array([1.0, -2.0])}
+        p2 = {"w": np.array([1.0, -2.0])}
+        grads = {"w": np.array([0.5, 0.5])}
+        prox.set_anchor({"w": np.array([0.0, 0.0])})
+        prox.step(p1, grads)
+        sgd.step(p2, grads)
+        assert np.allclose(p1["w"], p2["w"])
+
+    def test_proximal_term_pulls_towards_anchor(self):
+        prox = ProximalSGD(lr=0.1, mu=1.0)
+        params = {"w": np.array([2.0])}
+        prox.set_anchor({"w": np.array([0.0])})
+        prox.step(params, {"w": np.array([0.0])})
+        # Gradient of the proximal term is mu * (w - anchor) = 2.
+        assert params["w"][0] == pytest.approx(2.0 - 0.1 * 2.0)
+
+    def test_without_anchor_behaves_like_sgd(self):
+        prox = ProximalSGD(lr=0.1, mu=1.0)
+        params = {"w": np.array([2.0])}
+        prox.step(params, {"w": np.array([1.0])})
+        assert params["w"][0] == pytest.approx(1.9)
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            ProximalSGD(lr=0.1, mu=-0.5)
+
+    def test_reset_state_clears_anchor(self):
+        prox = ProximalSGD(lr=0.1, mu=1.0)
+        prox.set_anchor({"w": np.array([0.0])})
+        prox.reset_state()
+        params = {"w": np.array([2.0])}
+        prox.step(params, {"w": np.array([0.0])})
+        assert params["w"][0] == pytest.approx(2.0)
+
+
+class TestMetrics:
+    def test_accuracy_from_labels(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_from_logits(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_top_k_accuracy(self):
+        scores = np.array([[0.1, 0.5, 0.4], [0.7, 0.2, 0.1]])
+        labels = np.array([2, 1])
+        assert top_k_accuracy(scores, labels, k=1) == pytest.approx(0.0)
+        assert top_k_accuracy(scores, labels, k=2) == pytest.approx(1.0)
+
+    def test_top_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.array([0, 1]), k=4)
+
+
+class TestArchitectures:
+    @pytest.mark.parametrize("name", sorted(ARCHITECTURES))
+    def test_build_and_forward(self, name):
+        spec = ARCHITECTURES[name]
+        model = build_model(name, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, *spec.input_shape))
+        logits = model.forward(x)
+        assert logits.shape == (2, spec.num_classes)
+
+    def test_unknown_architecture_raises(self):
+        with pytest.raises(KeyError):
+            build_model("not-a-network")
+
+    def test_deterministic_initialisation(self):
+        a = build_model("mnist-cnn", rng=np.random.default_rng(5))
+        b = build_model("mnist-cnn", rng=np.random.default_rng(5))
+        for key, value in a.get_weights().items():
+            assert np.allclose(value, b.get_weights()[key])
+
+    def test_mnist_cnn_structure_matches_paper(self):
+        """Two convolutional layers and a single fully connected layer (§5.1)."""
+        from repro.nn.layers import Conv2D, Dense
+
+        model = build_model("mnist-cnn")
+        convs = [l for l in model.feature_layers if isinstance(l, Conv2D)]
+        denses = [l for l in model.classifier_layers if isinstance(l, Dense)]
+        assert len(convs) == 2
+        assert len(denses) == 1
+
+    def test_cifar10_cnn_structure_matches_paper(self):
+        """Six convolutional layers and two fully connected layers (§5.1)."""
+        from repro.nn.layers import Conv2D, Dense
+
+        model = build_model("cifar10-cnn")
+        convs = [l for l in model.feature_layers if isinstance(l, Conv2D)]
+        denses = [l for l in model.classifier_layers if isinstance(l, Dense)]
+        assert len(convs) == 6
+        assert len(denses) == 2
