@@ -4,6 +4,11 @@ Every benchmark regenerates one table or figure of the paper at the
 "bench" scale (override with ``REPRO_SCALE=full`` for paper-sized runs) and
 prints the regenerated rows/series so they can be compared with the paper;
 EXPERIMENTS.md records that comparison.
+
+The figure functions route their sweeps through
+:func:`repro.experiments.parallel.run_suite`, so the whole harness can be
+parallelised and/or cached without code changes: set ``REPRO_WORKERS=8``
+and/or ``REPRO_CACHE_DIR=.repro-cache`` before invoking pytest.
 """
 
 from __future__ import annotations
@@ -17,9 +22,16 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
+SRC_ROOT = REPO_ROOT / "src"
+if str(SRC_ROOT) not in sys.path:
+    sys.path.insert(0, str(SRC_ROOT))
 
 # Benchmarks default to the "bench" scale unless the user overrides it.
 os.environ.setdefault("REPRO_SCALE", "bench")
+
+# Every figure sweep routes through repro.experiments.parallel.run_suite,
+# which reads REPRO_WORKERS/REPRO_CACHE_DIR itself (serial when unset) —
+# no explicit configure() call is needed here.
 
 
 @pytest.fixture

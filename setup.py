@@ -1,10 +1,33 @@
-"""Setuptools entry point.
+"""Setuptools entry point for the Aergia reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``; this shim exists
-so that legacy editable installs (``pip install -e . --no-use-pep517``) work
-in offline environments where the ``wheel`` package is unavailable.
+Installs the ``repro`` package from ``src/`` and the ``repro`` console
+script (equivalent to ``python -m repro``).  Kept as a plain ``setup.py``
+so legacy editable installs (``pip install -e . --no-use-pep517``) work in
+offline environments where the ``wheel`` package is unavailable.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+VERSION = re.search(
+    r'^__version__ = "(.+?)"',
+    (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-aergia",
+    version=VERSION,
+    description="Reproduction of Aergia (Middleware '22): offloading the laggards in federated learning",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,411 @@
+"""Command-line entry point for the Aergia reproduction.
+
+``python -m repro`` (or the installed ``repro`` console script) exposes the
+experiment harness without writing any Python:
+
+``repro run``
+    One experiment (algorithm x dataset x partition) at a chosen scale.
+``repro sweep``
+    A dataset x algorithm grid, executed through the parallel sweep runner
+    (:mod:`repro.experiments.parallel`) with optional result caching.
+``repro figures``
+    Regenerate one or more figures/tables of the paper and print their
+    text renderings.
+``repro bench``
+    Time the same sweep serially and in parallel, verify the summaries
+    are identical, and report the speedup.
+
+Every subcommand accepts ``--scale {smoke,bench,full}`` (defaulting to the
+``REPRO_SCALE`` environment variable) and the sweep-shaped ones accept
+``--workers`` and ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.parallel import (
+    configure,
+    resolve_workers,
+    run_configs_parallel,
+    run_suite,
+)
+from repro.experiments.report import render_summaries, render_table1
+from repro.experiments.runner import run_configs
+from repro.experiments.workloads import (
+    SCALES,
+    ScaleProfile,
+    baseline_algorithms,
+    evaluation_config,
+    known_datasets,
+)
+from repro.fl.runtime import available_algorithms
+
+
+# ---------------------------------------------------------------------------
+# Figure registry: name -> callable(scale, seed) -> printable rendering
+# ---------------------------------------------------------------------------
+def _figure_registry() -> Dict[str, Callable[[ScaleProfile, Optional[int]], str]]:
+    from repro.experiments import figures as F
+
+    def scaled(func):
+        def runner(scale: ScaleProfile, seed: Optional[int]) -> str:
+            kwargs = {"scale": scale}
+            if seed is not None:
+                kwargs["seed"] = seed
+            return func(**kwargs)["render"]
+
+        return runner
+
+    def unscaled(func):
+        def runner(scale: ScaleProfile, seed: Optional[int]) -> str:
+            return func()["render"]
+
+        return runner
+
+    return {
+        "fig1a": scaled(F.figure1a),
+        "fig1bc": scaled(F.figure1b_1c),
+        "fig4": lambda scale, seed: F.figure4(**({"seed": seed} if seed is not None else {}))[
+            "render"
+        ],
+        "fig6": scaled(F.figure6),
+        "fig7": scaled(F.figure7),
+        "fig8": scaled(F.figure8),
+        "fig9": scaled(F.figure9),
+        "fig10": scaled(F.figure10),
+        "table1": lambda scale, seed: render_table1(),
+        "headline": scaled(F.headline_claims),
+        "profiler-overhead": scaled(F.profiler_overhead),
+        "ablation-profile-length": scaled(F.ablation_profile_length),
+        "ablation-offload-point": unscaled(F.ablation_offload_point),
+        "ablation-freeze-side": unscaled(F.ablation_freeze_side),
+    }
+
+
+FIGURE_NAMES = (
+    "fig1a",
+    "fig1bc",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "headline",
+    "profiler-overhead",
+    "ablation-profile-length",
+    "ablation-offload-point",
+    "ablation-freeze-side",
+)
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+def _default_scale_name() -> str:
+    name = os.environ.get("REPRO_SCALE", "bench").lower()
+    return name if name in SCALES else "bench"
+
+
+def _add_scale_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=_default_scale_name(),
+        help="workload scale profile (default: $REPRO_SCALE or bench)",
+    )
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for the sweep "
+        "(default: $REPRO_WORKERS, else one per CPU; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache; already-computed cells are loaded, not re-run "
+        "(default: $REPRO_CACHE_DIR)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    algorithms = ", ".join(available_algorithms())
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for Aergia (Middleware '22): "
+        "run experiments, sweeps, and regenerate the paper's figures.",
+        epilog=f"available algorithms: {algorithms}",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run",
+        help="run one experiment and print its summary",
+        description="Run a single experiment configuration.",
+        epilog=f"available algorithms: {algorithms}",
+    )
+    run_p.add_argument(
+        "--algorithm",
+        default="fedavg",
+        choices=available_algorithms(),
+        help="federated-learning algorithm (default: fedavg)",
+    )
+    run_p.add_argument(
+        "--dataset",
+        default="mnist",
+        choices=known_datasets(),
+        help="dataset name (default: mnist)",
+    )
+    run_p.add_argument(
+        "--partition",
+        default="iid",
+        choices=("iid", "noniid", "dirichlet"),
+        help="client data partition scheme (default: iid)",
+    )
+    run_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
+    run_p.add_argument("--rounds", type=int, default=None, help="override the round budget")
+    _add_scale_flag(run_p)
+    _add_execution_flags(run_p)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a dataset x algorithm grid through the parallel runner",
+        description="Run a dataset x algorithm sweep in parallel with caching.",
+        epilog=f"available algorithms: {algorithms}",
+    )
+    sweep_p.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["mnist", "fmnist"],
+        choices=known_datasets(),
+        help="datasets to sweep (default: mnist fmnist)",
+    )
+    sweep_p.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(baseline_algorithms()),
+        choices=available_algorithms(),
+        help="algorithms to sweep (default: the paper's five baselines)",
+    )
+    sweep_p.add_argument(
+        "--partition",
+        default="noniid",
+        choices=("iid", "noniid", "dirichlet"),
+        help="client data partition scheme (default: noniid)",
+    )
+    sweep_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
+    _add_scale_flag(sweep_p)
+    _add_execution_flags(sweep_p)
+
+    fig_p = sub.add_parser(
+        "figures",
+        help="regenerate figures/tables of the paper",
+        description="Regenerate one or more paper figures and print their renderings.",
+    )
+    fig_p.add_argument(
+        "names",
+        nargs="*",
+        default=["all"],
+        metavar="FIGURE",
+        help="figures to regenerate (default: all); one of: "
+        + ", ".join(FIGURE_NAMES + ("all",)),
+    )
+    fig_p.add_argument(
+        "--seed", type=int, default=None, help="override each figure's default seed"
+    )
+    _add_scale_flag(fig_p)
+    _add_execution_flags(fig_p)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="time serial vs parallel execution of the same sweep",
+        description="Run one sweep serially and in parallel, verify per-label "
+        "summaries are identical, and report both wall-clocks.",
+    )
+    bench_p.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["mnist", "fmnist"],
+        choices=known_datasets(),
+        help="datasets (default: mnist fmnist)",
+    )
+    bench_p.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(baseline_algorithms()),
+        choices=available_algorithms(),
+        help="algorithms (default: the paper's five baselines)",
+    )
+    bench_p.add_argument(
+        "--partition",
+        default="noniid",
+        choices=("iid", "noniid", "dirichlet"),
+        help="client data partition scheme (default: noniid)",
+    )
+    bench_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
+    _add_scale_flag(bench_p)
+    # No --cache-dir here: bench times actual execution, and serving the
+    # parallel leg from a warm cache would turn the "speedup" into a
+    # cache-load measurement.
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for the parallel leg (default: $REPRO_WORKERS, else one per CPU)",
+    )
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+def _grid_configs(
+    datasets: Sequence[str],
+    algorithms: Sequence[str],
+    partition: str,
+    scale: ScaleProfile,
+    seed: int,
+) -> Dict[str, object]:
+    return {
+        f"{dataset}/{algorithm}": evaluation_config(dataset, algorithm, partition, scale, seed=seed)
+        for dataset in datasets
+        for algorithm in algorithms
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = SCALES[args.scale]
+    overrides = {}
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    config = evaluation_config(
+        args.dataset, args.algorithm, args.partition, scale, seed=args.seed, **overrides
+    )
+    # A single config executes inline even in the parallel path, so the
+    # shared --workers default ("one per CPU") is honest here too.
+    configure(workers=args.workers, cache_dir=args.cache_dir)
+    start = time.perf_counter()
+    suite = run_suite({args.algorithm: config})
+    elapsed = time.perf_counter() - start
+    print(
+        render_summaries(
+            suite.summaries(),
+            title=f"repro run: {args.dataset}/{args.algorithm} ({args.partition}, {scale.name} scale)",
+        )
+    )
+    cached = " (cached)" if suite.cache_hits else ""
+    print(f"\nwall-clock: {elapsed:.2f}s{cached}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scale = SCALES[args.scale]
+    configs = _grid_configs(args.datasets, args.algorithms, args.partition, scale, args.seed)
+    policy = configure(args.workers, args.cache_dir)
+    workers, cache_dir = policy.workers, policy.cache_dir
+    start = time.perf_counter()
+    suite = run_configs_parallel(
+        configs,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=lambda label, _result: print(f"  done: {label}", file=sys.stderr),
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        render_summaries(
+            suite.summaries(),
+            title=f"repro sweep: {len(configs)} cells, {scale.name} scale, "
+            f"{workers} worker{'s' if workers != 1 else ''}",
+        )
+    )
+    print(f"\nwall-clock: {elapsed:.2f}s  (sum of per-cell compute: {suite.total_wall_seconds():.2f}s)")
+    if cache_dir is not None:
+        print(f"cache hits: {len(suite.cache_hits)}/{len(configs)} in {cache_dir}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    scale = SCALES[args.scale]
+    registry = _figure_registry()
+    names: List[str] = list(args.names) or ["all"]
+    unknown = [name for name in names if name != "all" and name not in registry]
+    if unknown:
+        print(
+            f"repro figures: unknown figure(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(FIGURE_NAMES + ('all',))}",
+            file=sys.stderr,
+        )
+        return 2
+    configure(workers=args.workers, cache_dir=args.cache_dir)
+    if "all" in names:
+        names = list(FIGURE_NAMES)
+    for name in names:
+        start = time.perf_counter()
+        rendering = registry[name](scale, args.seed)
+        elapsed = time.perf_counter() - start
+        print(rendering)
+        print(f"[{name}: {elapsed:.2f}s]\n")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    scale = SCALES[args.scale]
+    configs = _grid_configs(args.datasets, args.algorithms, args.partition, scale, args.seed)
+    workers = resolve_workers(args.workers)
+
+    print(f"benchmarking {len(configs)} cells at {scale.name} scale ...", file=sys.stderr)
+    start = time.perf_counter()
+    serial = run_configs(configs)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_configs_parallel(configs, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    mismatched = [
+        label
+        for label in configs
+        if serial.results[label].summary() != parallel.results[label].summary()
+    ]
+    print(render_summaries(parallel.summaries(), title="repro bench: sweep summaries"))
+    print(f"\nserial wall-clock:   {serial_s:.2f}s")
+    print(f"parallel wall-clock: {parallel_s:.2f}s  ({workers} workers)")
+    if parallel_s > 0:
+        print(f"speedup: {serial_s / parallel_s:.2f}x")
+    if mismatched:
+        print(f"ERROR: serial/parallel summary mismatch for: {', '.join(mismatched)}")
+        return 1
+    print("serial and parallel per-label summaries are identical.")
+    return 0
+
+
+_COMMANDS: Mapping[str, Callable[[argparse.Namespace], int]] = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "figures": _cmd_figures,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

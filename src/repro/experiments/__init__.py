@@ -16,6 +16,13 @@ from repro.experiments.workloads import (
     scale_from_env,
 )
 from repro.experiments.runner import run_configs, SuiteResult
+from repro.experiments.parallel import (
+    ResultCache,
+    config_hash,
+    configure,
+    run_configs_parallel,
+    run_suite,
+)
 from repro.experiments.report import format_table, table1_comparison, render_table1
 
 __all__ = [
@@ -25,6 +32,11 @@ __all__ = [
     "evaluation_config",
     "scale_from_env",
     "run_configs",
+    "run_configs_parallel",
+    "run_suite",
+    "configure",
+    "config_hash",
+    "ResultCache",
     "SuiteResult",
     "format_table",
     "table1_comparison",

@@ -17,7 +17,8 @@ from repro.core.profiler import profile_model_phases
 from repro.core.scheduler import calc_op
 from repro.data.datasets import load_dataset
 from repro.experiments.report import format_table
-from repro.experiments.runner import SuiteResult, run_configs
+from repro.experiments.parallel import run_suite
+from repro.experiments.runner import SuiteResult
 from repro.experiments.workloads import (
     ScaleProfile,
     baseline_algorithms,
@@ -49,17 +50,19 @@ def figure1a(
     impact that the paper reports.
     """
     scale = scale or scale_from_env()
+    configs = {
+        f"{clients}/{variance}": heterogeneity_config(clients, variance, scale, seed=seed)
+        for clients in client_counts
+        for variance in variances
+    }
+    suite = run_suite(configs)
     multipliers: Dict[int, Dict[float, float]] = {}
-    baselines: Dict[int, float] = {}
     for clients in client_counts:
-        multipliers[clients] = {}
-        for variance in variances:
-            config = heterogeneity_config(clients, variance, scale, seed=seed)
-            result = run_configs({"run": config})["run"]
-            total = result.total_time
-            if variance == variances[0]:
-                baselines[clients] = total
-            multipliers[clients][variance] = total / baselines[clients]
+        baseline = suite[f"{clients}/{variances[0]}"].total_time
+        multipliers[clients] = {
+            variance: suite[f"{clients}/{variance}"].total_time / baseline
+            for variance in variances
+        }
 
     rows = [
         [clients] + [multipliers[clients][v] for v in variances] for clients in client_counts
@@ -93,7 +96,7 @@ def figure1b_1c(
         ("inf" if d is None else f"{int(d)}s"): motivation_deadline_config(d, scale, seed=seed)
         for d in deadlines
     }
-    suite = run_configs(configs)
+    suite = run_suite(configs)
     rows = []
     for label, result in suite.results.items():
         rows.append(
@@ -189,7 +192,7 @@ def _evaluation_grid(
             algorithm: evaluation_config(dataset, algorithm, partition, scale, seed=seed)
             for algorithm in algorithms
         }
-        per_dataset[dataset] = run_configs(configs)
+        per_dataset[dataset] = run_suite(configs)
 
     rows = []
     accuracy: Dict[str, Dict[str, float]] = {}
@@ -259,7 +262,7 @@ def figure8(
         algorithm: evaluation_config("fmnist", algorithm, "noniid", scale, seed=seed)
         for algorithm in algorithms
     }
-    suite = run_configs(configs)
+    suite = run_suite(configs)
     densities = round_duration_density(list(suite.results.values()), bins=bins)
     mean_durations = {
         algorithm: result.mean_round_duration() for algorithm, result in suite.results.items()
@@ -296,7 +299,7 @@ def figure9(
     configs = {
         f"f={factor}": similarity_factor_config(factor, scale, seed=seed) for factor in factors
     }
-    suite = run_configs(configs)
+    suite = run_suite(configs)
     rows = []
     for label, result in suite.results.items():
         rows.append([label, result.final_accuracy, result.mean_round_duration()])
@@ -329,7 +332,7 @@ def figure10(scale: Optional[ScaleProfile] = None, seed: int = 42) -> Dict[str, 
         (label, config.with_overrides(rounds=max(config.rounds * 2, 6)))
         for label, config in noniid_degree_configs(scale, seed=seed)
     ]
-    suite = run_configs(dict(labelled))
+    suite = run_suite(dict(labelled))
     rows = []
     timelines: Dict[str, List[Tuple[float, float]]] = {}
     for label, result in suite.results.items():
@@ -369,7 +372,7 @@ def headline_claims(
         algorithm: evaluation_config(dataset, algorithm, partition, scale, seed=seed)
         for algorithm in ("fedavg", "tifl", "aergia")
     }
-    suite = run_configs(configs)
+    suite = run_suite(configs)
     aergia = suite["aergia"]
     fedavg = suite["fedavg"]
     tifl = suite["tifl"]
@@ -408,9 +411,10 @@ def profiler_overhead(
     """
     scale = scale or scale_from_env()
     config = evaluation_config("fmnist", "aergia", "iid", scale, seed=seed)
-    with_profiling = run_configs({"with": config})["with"]
     no_profile_config = config.with_overrides(profile_batches=0, algorithm="fedavg")
-    without_profiling = run_configs({"without": no_profile_config})["without"]
+    suite = run_suite({"with": config, "without": no_profile_config})
+    with_profiling = suite["with"]
+    without_profiling = suite["without"]
 
     # The cleanest estimate of the profiler's own overhead is the configured
     # per-batch surcharge times the number of profiled batches, relative to
@@ -451,7 +455,7 @@ def ablation_profile_length(
         configs[f"P={length}"] = config.with_overrides(
             profile_batches=min(length, config.local_updates)
         )
-    suite = run_configs(configs)
+    suite = run_suite(configs)
     rows = [
         [label, result.final_accuracy, result.total_time, result.mean_round_duration()]
         for label, result in suite.results.items()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Mapping, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.fl.config import ExperimentConfig
 from repro.fl.metrics import ExperimentResult
@@ -13,10 +13,18 @@ from repro.fl.runtime import run_experiment
 
 @dataclass
 class SuiteResult:
-    """Results of a batch of experiments, keyed by a caller-chosen label."""
+    """Results of a batch of experiments, keyed by a caller-chosen label.
+
+    ``cache_hits`` lists the labels that were loaded from the on-disk
+    result cache rather than executed — always empty for the serial
+    :func:`run_configs` path, populated by
+    :func:`repro.experiments.parallel.run_configs_parallel` when a cache
+    directory is in use.
+    """
 
     results: Dict[str, ExperimentResult] = field(default_factory=dict)
     wall_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_hits: List[str] = field(default_factory=list)
 
     def __getitem__(self, label: str) -> ExperimentResult:
         return self.results[label]

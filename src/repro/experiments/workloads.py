@@ -100,6 +100,11 @@ _ARCHITECTURE_FOR_DATASET = {
 }
 
 
+def known_datasets() -> Tuple[str, ...]:
+    """Datasets the evaluation harness has a default architecture for."""
+    return tuple(sorted(_ARCHITECTURE_FOR_DATASET))
+
+
 def architecture_for(dataset: str) -> str:
     """The network the paper pairs with each dataset (§5.1 "Networks")."""
     try:

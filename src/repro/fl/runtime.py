@@ -11,7 +11,8 @@ runs the simulation to completion and returns the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from importlib import import_module
+from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
@@ -19,7 +20,7 @@ from repro.data.datasets import load_dataset
 from repro.data.partition import ClientPartition, partition_dataset
 from repro.fl.client import FLClient
 from repro.fl.config import ExperimentConfig, ResourceConfig
-from repro.fl.federator import BaseFederator, FedAvgFederator
+from repro.fl.federator import BaseFederator
 from repro.fl.metrics import ExperimentResult
 from repro.nn.architectures import build_model
 from repro.simulation.cluster import SimulatedCluster
@@ -90,40 +91,35 @@ def _build_profiles(resources: ResourceConfig, num_clients: int, rng: np.random.
     raise ValueError(f"unknown resource scheme {resources.scheme!r}")
 
 
+#: Algorithm name -> (module, class).  Modules are imported lazily so that
+#: :mod:`repro.fl` does not depend on :mod:`repro.baselines` or
+#: :mod:`repro.core` at import time.
+_FEDERATOR_CLASS_PATHS: Dict[str, Tuple[str, str]] = {
+    "fedavg": ("repro.fl.federator", "FedAvgFederator"),
+    "fedprox": ("repro.baselines.fedprox", "FedProxFederator"),
+    "fednova": ("repro.baselines.fednova", "FedNovaFederator"),
+    "fedsgd": ("repro.baselines.fedsgd", "FedSGDFederator"),
+    "tifl": ("repro.baselines.tifl", "TiFLFederator"),
+    "deadline": ("repro.baselines.deadline", "DeadlineFederator"),
+    "aergia": ("repro.core.aergia", "AergiaFederator"),
+}
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """All algorithm names :func:`federator_class` accepts, sorted."""
+    return tuple(sorted(_FEDERATOR_CLASS_PATHS))
+
+
 def federator_class(algorithm: str) -> Type[BaseFederator]:
-    """Resolve an algorithm name to its federator class.
-
-    Imports are done lazily so that :mod:`repro.fl` does not depend on
-    :mod:`repro.baselines` or :mod:`repro.core` at import time.
-    """
-    algorithm = algorithm.lower()
-    if algorithm == "fedavg":
-        return FedAvgFederator
-    if algorithm == "fedprox":
-        from repro.baselines.fedprox import FedProxFederator
-
-        return FedProxFederator
-    if algorithm == "fednova":
-        from repro.baselines.fednova import FedNovaFederator
-
-        return FedNovaFederator
-    if algorithm == "fedsgd":
-        from repro.baselines.fedsgd import FedSGDFederator
-
-        return FedSGDFederator
-    if algorithm == "tifl":
-        from repro.baselines.tifl import TiFLFederator
-
-        return TiFLFederator
-    if algorithm == "deadline":
-        from repro.baselines.deadline import DeadlineFederator
-
-        return DeadlineFederator
-    if algorithm == "aergia":
-        from repro.core.aergia import AergiaFederator
-
-        return AergiaFederator
-    raise ValueError(f"unknown algorithm {algorithm!r}")
+    """Resolve an algorithm name to its federator class."""
+    try:
+        module_name, class_name = _FEDERATOR_CLASS_PATHS[algorithm.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"valid algorithms: {', '.join(available_algorithms())}"
+        ) from None
+    return getattr(import_module(module_name), class_name)
 
 
 def _estimate_client_batch_seconds(

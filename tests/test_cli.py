@@ -1,0 +1,126 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import FIGURE_NAMES, build_parser, main
+from repro.experiments.parallel import reset_policy
+from repro.fl.runtime import available_algorithms
+
+
+@pytest.fixture(autouse=True)
+def _reset_execution_policy():
+    yield
+    reset_policy()
+
+
+class TestParser:
+    def test_help_lists_algorithms(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for algorithm in available_algorithms():
+            assert algorithm in out
+
+    def test_run_help_lists_algorithms(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "aergia" in out and "tifl" in out
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--algorithm", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "aergia" in err  # the valid choices are surfaced
+
+    def test_every_figure_name_is_registered(self):
+        from repro.cli import _figure_registry
+
+        assert set(_figure_registry()) == set(FIGURE_NAMES)
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "--workers", "2", "--scale", "smoke"])
+        assert args.command == "sweep"
+        assert args.workers == 2
+        assert args.scale == "smoke"
+
+    def test_figures_without_names_defaults_to_all(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.names == ["all"]
+
+    def test_figures_unknown_name_rejected(self, capsys):
+        assert main(["figures", "nosuchfig", "--scale", "smoke"]) == 2
+        err = capsys.readouterr().err
+        assert "nosuchfig" in err and "fig6" in err
+
+    def test_unknown_dataset_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--dataset", "nosuch"])
+        assert excinfo.value.code == 2
+        assert "mnist" in capsys.readouterr().err
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--algorithm", "fedavg", "--dataset", "mnist", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out
+        assert "wall-clock" in out
+
+    def test_sweep_with_cache_warm_start(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--scale",
+            "smoke",
+            "--datasets",
+            "mnist",
+            "--algorithms",
+            "fedavg",
+            "fedsgd",
+            "--workers",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache hits: 0/2" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache hits: 2/2" in warm
+
+        # The summary rows themselves are identical cold vs warm.
+        rows = lambda text: [line for line in text.splitlines() if line.startswith("mnist/")]
+        assert rows(cold) == rows(warm)
+
+    def test_sweep_honors_env_cache_dir(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = [
+            "sweep",
+            "--scale",
+            "smoke",
+            "--datasets",
+            "mnist",
+            "--algorithms",
+            "fedsgd",
+            "--workers",
+            "1",
+        ]
+        assert main(argv) == 0
+        assert "cache hits: 0/1" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "cache hits: 1/1" in capsys.readouterr().out
+
+    def test_figures_table1(self, capsys):
+        assert main(["figures", "table1", "--scale", "smoke", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Aergia" in out

@@ -52,6 +52,13 @@ class TestRuntimeAssembly:
         with pytest.raises(ValueError):
             federator_class("not-an-algorithm")
 
+    def test_unknown_algorithm_error_lists_valid_names(self):
+        from repro.fl.runtime import available_algorithms
+
+        assert {"fedavg", "tifl", "aergia"} <= set(available_algorithms())
+        with pytest.raises(ValueError, match="valid algorithms: .*aergia.*tifl"):
+            federator_class("not-an-algorithm")
+
     def test_explicit_speeds_too_short_rejected(self):
         config = smoke(
             "fedavg",

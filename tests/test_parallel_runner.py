@@ -1,0 +1,159 @@
+"""Tests for the parallel sweep runner, config hashing and the result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    ResultCache,
+    config_hash,
+    configure,
+    reset_policy,
+    run_configs_parallel,
+    run_suite,
+)
+from repro.experiments.runner import run_configs
+from repro.fl.config import ExperimentConfig, ResourceConfig
+
+
+@pytest.fixture(autouse=True)
+def _reset_execution_policy():
+    yield
+    reset_policy()
+
+
+@pytest.fixture
+def sweep_configs(smoke_config):
+    """A two-cell sweep small enough for the test suite."""
+    fast = smoke_config.with_overrides(train_size=240, test_size=60, local_updates=4)
+    return {
+        "fedavg": fast,
+        "fedsgd": fast.with_overrides(algorithm="fedsgd"),
+    }
+
+
+def _summaries_json(suite):
+    return {label: json.dumps(result.summary(), sort_keys=True) for label, result in suite.results.items()}
+
+
+class TestConfigHash:
+    def test_stable_and_sensitive(self, smoke_config):
+        assert config_hash(smoke_config) == config_hash(smoke_config)
+        copy = smoke_config.with_overrides()
+        assert config_hash(copy) == config_hash(smoke_config)
+        assert config_hash(smoke_config.with_overrides(seed=8)) != config_hash(smoke_config)
+        assert config_hash(smoke_config.with_overrides(algorithm="aergia")) != config_hash(
+            smoke_config
+        )
+
+    def test_covers_nested_resource_config(self, smoke_config):
+        tweaked = smoke_config.with_overrides(
+            resources=ResourceConfig(scheme="uniform", low=0.2, high=1.0)
+        )
+        assert config_hash(tweaked) != config_hash(smoke_config)
+
+    def test_is_hex_digest(self, smoke_config):
+        digest = config_hash(smoke_config)
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestParallelMatchesSerial:
+    def test_two_workers_identical_summaries(self, sweep_configs):
+        serial = run_configs(sweep_configs)
+        parallel = run_configs_parallel(sweep_configs, workers=2)
+        assert _summaries_json(serial) == _summaries_json(parallel)
+        assert list(parallel.results) == list(sweep_configs)  # label order preserved
+        assert parallel.cache_hits == []
+
+    def test_progress_fires_for_every_label(self, sweep_configs):
+        seen = []
+        run_configs_parallel(sweep_configs, workers=2, progress=lambda label, _r: seen.append(label))
+        assert sorted(seen) == sorted(sweep_configs)
+
+
+class TestResultCache:
+    def test_round_trip(self, smoke_config, tmp_path):
+        suite = run_configs_parallel({"only": smoke_config}, workers=1, cache_dir=tmp_path)
+        cache = ResultCache(tmp_path)
+        cached = cache.get(smoke_config)
+        assert cached is not None
+        result, wall = cached
+        assert wall > 0
+        assert json.dumps(result.summary(), sort_keys=True) == json.dumps(
+            suite.results["only"].summary(), sort_keys=True
+        )
+        assert result.num_rounds == suite.results["only"].num_rounds
+
+    def test_warm_cache_short_circuits_execution(self, sweep_configs, tmp_path, monkeypatch):
+        cold = run_configs_parallel(sweep_configs, workers=1, cache_dir=tmp_path)
+        assert cold.cache_hits == []
+
+        # A warm run must not execute anything: make execution explode.
+        def _boom(item):
+            raise AssertionError(f"cache miss executed {item[0]}")
+
+        monkeypatch.setattr("repro.experiments.parallel._execute_labelled", _boom)
+        warm = run_configs_parallel(sweep_configs, workers=1, cache_dir=tmp_path)
+        assert sorted(warm.cache_hits) == sorted(sweep_configs)
+        assert _summaries_json(warm) == _summaries_json(cold)
+
+    @pytest.mark.parametrize("garbage", ["{not json", "null", "[]", '"a string"'])
+    def test_corrupt_entry_is_a_miss(self, smoke_config, tmp_path, garbage):
+        run_configs_parallel({"only": smoke_config}, workers=1, cache_dir=tmp_path)
+        for path in tmp_path.glob("*.json"):
+            path.write_text(garbage)
+        assert ResultCache(tmp_path).get(smoke_config) is None
+
+    def test_different_config_is_a_miss(self, smoke_config, tmp_path):
+        run_configs_parallel({"only": smoke_config}, workers=1, cache_dir=tmp_path)
+        assert ResultCache(tmp_path).get(smoke_config.with_overrides(seed=99)) is None
+
+
+class TestRunSuitePolicy:
+    def test_default_policy_is_serial(self, monkeypatch):
+        from repro.experiments.parallel import active_policy
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert active_policy().is_serial
+
+    def test_configure_routes_through_parallel(self, sweep_configs, tmp_path):
+        configure(workers=2, cache_dir=tmp_path)
+        first = run_suite(sweep_configs)
+        assert first.cache_hits == []
+        second = run_suite(sweep_configs)
+        assert sorted(second.cache_hits) == sorted(sweep_configs)
+        assert _summaries_json(first) == _summaries_json(second)
+
+    def test_env_policy(self, monkeypatch, tmp_path):
+        from repro.experiments.parallel import active_policy
+
+        reset_policy()
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        policy = active_policy()
+        assert policy.workers == 3
+        assert policy.cache_dir == tmp_path
+
+    def test_resolve_workers_precedence(self, monkeypatch):
+        from repro.experiments.parallel import resolve_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert resolve_workers(None) == 2  # env fills in an unset flag
+        assert resolve_workers(5) == 5  # explicit flag beats env
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    def test_configure_falls_back_to_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        policy = configure()
+        assert policy.workers == 2
+        assert policy.cache_dir == tmp_path
