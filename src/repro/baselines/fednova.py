@@ -14,7 +14,13 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.fl.aggregation import fednova_aggregate
+from repro.fl.aggregation import (
+    fednova_aggregate,
+    fednova_aggregate_flat,
+    flatten_weights,
+    unflatten_weights,
+    weight_spec,
+)
 from repro.fl.federator import BaseFederator, RoundState
 
 Weights = Dict[str, np.ndarray]
@@ -28,6 +34,17 @@ class FedNovaFederator(BaseFederator):
     def aggregate(
         self, state: RoundState, contributions: List[Tuple[Weights, int, int]]
     ) -> Weights:
+        rows = self.flat_contributions(state, contributions)
+        if rows is not None:
+            # Hot path: normalised averaging over the clients' flat vectors.
+            spec = weight_spec(self.global_weights)
+            new_vector = fednova_aggregate_flat(
+                flatten_weights(self.global_weights, spec),
+                rows,
+                [num_samples for _, num_samples, _ in contributions],
+                [num_steps for _, _, num_steps in contributions],
+            )
+            return unflatten_weights(new_vector, spec)
         return fednova_aggregate(
             self.global_weights,
             [(weights, num_samples, num_steps) for weights, num_samples, num_steps in contributions],

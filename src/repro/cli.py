@@ -122,6 +122,26 @@ def _add_scale_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_dtype_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="compute dtype of the numpy engine (default: $REPRO_DTYPE or float32; "
+        "float64 reproduces the original engine bit-for-bit; simulated times are "
+        "identical either way)",
+    )
+
+
+def _apply_dtype(args: argparse.Namespace) -> None:
+    """Make an explicit --dtype the process-wide default (workers inherit it)."""
+    if getattr(args, "dtype", None):
+        from repro.nn.dtype import set_compute_dtype
+
+        os.environ["REPRO_DTYPE"] = args.dtype
+        set_compute_dtype(args.dtype)
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -177,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
     run_p.add_argument("--rounds", type=int, default=None, help="override the round budget")
     _add_scale_flag(run_p)
+    _add_dtype_flag(run_p)
     _add_execution_flags(run_p)
 
     sweep_p = sub.add_parser(
@@ -207,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
     _add_scale_flag(sweep_p)
+    _add_dtype_flag(sweep_p)
     _add_execution_flags(sweep_p)
 
     fig_p = sub.add_parser(
@@ -226,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override each figure's default seed"
     )
     _add_scale_flag(fig_p)
+    _add_dtype_flag(fig_p)
     _add_execution_flags(fig_p)
 
     bench_p = sub.add_parser(
@@ -256,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
     _add_scale_flag(bench_p)
+    _add_dtype_flag(bench_p)
+    bench_p.add_argument(
+        "--engine",
+        action="store_true",
+        help="benchmark the compute engine (train/eval/aggregation microbenchmarks "
+        "vs the seed reference engine) instead of the sweep, writing BENCH_engine.json",
+    )
+    bench_p.add_argument(
+        "--output",
+        default="BENCH_engine.json",
+        metavar="PATH",
+        help="where --engine writes its JSON results (default: BENCH_engine.json)",
+    )
     # No --cache-dir here: bench times actual execution, and serving the
     # parallel leg from a warm cache would turn the "speedup" into a
     # cache-load measurement.
@@ -279,9 +315,12 @@ def _grid_configs(
     partition: str,
     scale: ScaleProfile,
     seed: int,
+    dtype: Optional[str] = None,
 ) -> Dict[str, object]:
     return {
-        f"{dataset}/{algorithm}": evaluation_config(dataset, algorithm, partition, scale, seed=seed)
+        f"{dataset}/{algorithm}": evaluation_config(
+            dataset, algorithm, partition, scale, seed=seed, dtype=dtype
+        )
         for dataset in datasets
         for algorithm in algorithms
     }
@@ -289,7 +328,8 @@ def _grid_configs(
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
-    overrides = {}
+    _apply_dtype(args)
+    overrides = {"dtype": args.dtype}
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
     config = evaluation_config(
@@ -314,7 +354,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
-    configs = _grid_configs(args.datasets, args.algorithms, args.partition, scale, args.seed)
+    _apply_dtype(args)
+    configs = _grid_configs(
+        args.datasets, args.algorithms, args.partition, scale, args.seed, dtype=args.dtype
+    )
     policy = configure(args.workers, args.cache_dir)
     workers, cache_dir = policy.workers, policy.cache_dir
     start = time.perf_counter()
@@ -350,6 +393,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    _apply_dtype(args)
     configure(workers=args.workers, cache_dir=args.cache_dir)
     if "all" in names:
         names = list(FIGURE_NAMES)
@@ -364,7 +408,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
-    configs = _grid_configs(args.datasets, args.algorithms, args.partition, scale, args.seed)
+    _apply_dtype(args)
+    if args.engine:
+        return _cmd_bench_engine(args, scale)
+    configs = _grid_configs(
+        args.datasets, args.algorithms, args.partition, scale, args.seed, dtype=args.dtype
+    )
     workers = resolve_workers(args.workers)
 
     print(f"benchmarking {len(configs)} cells at {scale.name} scale ...", file=sys.stderr)
@@ -390,6 +439,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"ERROR: serial/parallel summary mismatch for: {', '.join(mismatched)}")
         return 1
     print("serial and parallel per-label summaries are identical.")
+    return 0
+
+
+def _cmd_bench_engine(args: argparse.Namespace, scale: ScaleProfile) -> int:
+    """Engine microbenchmarks (train/eval/aggregation vs the seed engine)."""
+    from repro.experiments.engine_bench import render_engine_bench, run_engine_bench
+
+    # The smoke scale is a fast CI-friendly pass; larger scales measure more.
+    if scale.name == "smoke":
+        settings = {"architectures": ("mnist-cnn",), "batch_size": 16, "repeats": 5, "warmup": 1}
+    else:
+        settings = {"batch_size": scale.batch_size, "repeats": 20, "warmup": 3}
+    print(f"benchmarking the compute engine ({scale.name} settings) ...", file=sys.stderr)
+    results = run_engine_bench(output_path=args.output, **settings)
+    print(render_engine_bench(results))
+    print(f"\nresults written to {args.output}")
     return 0
 
 

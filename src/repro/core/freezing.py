@@ -15,7 +15,7 @@ with ``"features."`` or ``"classifier."``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -63,14 +63,13 @@ def recombine_offloaded_model(
 
     The classifier layers come from the weak client (which kept training
     them locally); the feature layers come from the strong client that
-    trained them on its own dataset (§3.3 "Model aggregation").
+    trained them on its own dataset (§3.3 "Model aggregation").  The merge
+    is explicitly filtered: *only* the feature keys of the strong client's
+    payload are used — any classifier keys it ships are discarded in favour
+    of the weak client's, which is the paper's aggregation contract.
     """
     _, classifier = split_weights(weak_client_weights)
-    features, extra_classifier = split_weights(strong_client_feature_weights)
-    if extra_classifier:
-        # The strong client only returns feature layers; any classifier keys
-        # in its payload are ignored in favour of the weak client's.
-        pass
+    features, _ignored_strong_classifier = split_weights(strong_client_feature_weights)
     if not features:
         raise ValueError("strong client payload contains no feature weights")
     return merge_weights(features, classifier)
@@ -89,23 +88,70 @@ class FrozenModelPackage:
     weights:
         Full model weights at the moment of freezing — the strong client
         needs both sections: it trains the features and keeps the classifier
-        fixed to compute gradients.
+        fixed to compute gradients.  ``None`` when the package was built
+        from a model's flat buffer (:meth:`from_model`), in which case
+        :attr:`flat_weights` holds the same state as one contiguous vector.
     batches_to_train:
         Number of local batch updates the strong client should run on the
         offloaded feature layers (the ``op`` output of Algorithm 2).
+    flat_weights:
+        Full model state as one flat vector in
+        :meth:`repro.nn.model.SplitCNN.get_flat_weights` layout; preferred
+        over ``weights`` when present (no per-key dictionaries are built
+        anywhere on the offload path).
     """
 
     source_client_id: int
     round_number: int
-    weights: Weights = field(repr=False)
+    weights: Optional[Weights] = field(default=None, repr=False)
     batches_to_train: int = 0
+    flat_weights: Optional[np.ndarray] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.batches_to_train < 0:
             raise ValueError("batches_to_train cannot be negative")
-        if not self.weights:
+        has_dict = bool(self.weights)
+        has_flat = self.flat_weights is not None and self.flat_weights.size > 0
+        if not has_dict and not has_flat:
             raise ValueError("an offloaded package must contain model weights")
 
+    @classmethod
+    def from_model(
+        cls,
+        model: SplitCNN,
+        source_client_id: int,
+        round_number: int,
+        batches_to_train: int,
+    ) -> "FrozenModelPackage":
+        """Snapshot a model's full state as a flat vector (no dict is built)."""
+        return cls(
+            source_client_id=source_client_id,
+            round_number=round_number,
+            batches_to_train=batches_to_train,
+            flat_weights=model.get_flat_weights(),
+        )
+
+    def load_into(self, model: SplitCNN) -> None:
+        """Restore the packaged state into ``model`` (flat path when available)."""
+        if self.flat_weights is not None:
+            model.set_flat_weights(self.flat_weights)
+        else:
+            model.set_weights(self.weights or {})
+
+    def num_parameters(self) -> int:
+        """Number of scalar parameters carried by the package."""
+        if self.flat_weights is not None:
+            return int(self.flat_weights.size)
+        return int(sum(array.size for array in (self.weights or {}).values()))
+
     def payload_bytes(self) -> float:
-        """Size of the package on the wire (charged by the network model)."""
-        return float(sum(array.nbytes for array in self.weights.values()))
+        """Size of the package on the wire (charged by the network model).
+
+        Payloads are charged at the canonical wire width
+        (:data:`repro.simulation.network.WIRE_BYTES_PER_PARAM`) regardless
+        of the in-memory compute dtype, so simulated communication times do
+        not depend on whether the engine runs in float32 or float64.
+        """
+        from repro.simulation.network import WIRE_BYTES_PER_PARAM
+
+        return float(self.num_parameters() * WIRE_BYTES_PER_PARAM)

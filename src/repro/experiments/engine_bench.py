@@ -1,0 +1,229 @@
+"""Microbenchmarks of the compute engine against the seed reference engine.
+
+Three hot paths are measured, each against the behaviour-preserved seed
+implementation in :mod:`repro.nn.reference`:
+
+* **train step** — one ``SplitCNN.train_batch`` (forward, backward, fused
+  optimiser update) per architecture;
+* **eval step** — one inference forward pass over a held-out batch;
+* **aggregation** — a 16-client FedAvg/FedNova reduction, seed per-key
+  dictionary loops versus the flat-vector kernels the federators now use.
+
+Timings use the median over ``repeats`` runs after ``warmup`` discarded
+runs.  :func:`run_engine_bench` returns a JSON-serialisable results dict
+(written to ``BENCH_engine.json`` by the CLI and by
+``benchmarks/bench_engine.py``) and :func:`render_engine_bench` renders the
+human-readable table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from statistics import median
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import fedavg_aggregate_flat, fednova_aggregate_flat
+from repro.nn.architectures import build_model
+from repro.nn.dtype import using_dtype
+from repro.nn.optim import SGD
+from repro.nn.reference import (
+    REFERENCE_ARCHITECTURES,
+    ReferenceSGD,
+    reference_fedavg_aggregate,
+    reference_fednova_aggregate,
+)
+
+DEFAULT_ARCHITECTURES = ("mnist-cnn", "cifar10-cnn")
+AGGREGATION_CLIENTS = 16
+
+
+def _time_ms(fn: Callable[[], object], repeats: int, warmup: int) -> float:
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return float(median(samples))
+
+
+def _input_batch(arch: str, batch_size: int, dtype) -> tuple:
+    from repro.nn.architectures import ARCHITECTURES
+
+    spec = ARCHITECTURES[arch]
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(batch_size, *spec.input_shape)).astype(dtype)
+    y = rng.integers(0, spec.num_classes, size=batch_size)
+    return x, y
+
+
+def bench_train_step(arch: str, batch_size: int, repeats: int, warmup: int) -> Dict[str, float]:
+    """Per-batch ``train_batch`` time: seed engine vs optimised float64/float32."""
+    results: Dict[str, float] = {}
+
+    reference = REFERENCE_ARCHITECTURES[arch](np.random.default_rng(0))
+    x64, y = _input_batch(arch, batch_size, np.float64)
+    ref_opt = ReferenceSGD(lr=0.05, momentum=0.9, model=reference)
+    results["reference_ms"] = _time_ms(
+        lambda: reference.train_batch(x64, y, ref_opt), repeats, warmup
+    )
+
+    for dtype_name in ("float64", "float32"):
+        with using_dtype(dtype_name):
+            model = build_model(arch, rng=np.random.default_rng(0))
+        x = x64.astype(model.dtype)
+        optimizer = SGD(lr=0.05, momentum=0.9)
+        results[f"{dtype_name}_ms"] = _time_ms(
+            lambda: model.train_batch(x, y, optimizer), repeats, warmup
+        )
+
+    results["speedup"] = results["reference_ms"] / results["float32_ms"]
+    return results
+
+
+def bench_eval_step(arch: str, batch_size: int, repeats: int, warmup: int) -> Dict[str, float]:
+    """Per-batch inference time: seed engine vs optimised float64/float32."""
+    results: Dict[str, float] = {}
+
+    reference = REFERENCE_ARCHITECTURES[arch](np.random.default_rng(0))
+    x64, y = _input_batch(arch, batch_size, np.float64)
+    results["reference_ms"] = _time_ms(
+        lambda: reference.evaluate(x64, y, batch_size=batch_size), repeats, warmup
+    )
+
+    for dtype_name in ("float64", "float32"):
+        with using_dtype(dtype_name):
+            model = build_model(arch, rng=np.random.default_rng(0))
+        x = x64.astype(model.dtype)
+        results[f"{dtype_name}_ms"] = _time_ms(
+            lambda: model.evaluate(x, y, batch_size=batch_size), repeats, warmup
+        )
+
+    results["speedup"] = results["reference_ms"] / results["float32_ms"]
+    return results
+
+
+def bench_aggregation(
+    arch: str, num_clients: int, repeats: int, warmup: int
+) -> Dict[str, Dict[str, float]]:
+    """16-client aggregation: seed per-key dict loops vs flat-vector kernels.
+
+    The flat kernels are fed the clients' flat parameter vectors, exactly
+    as the federators receive them in ``TrainingResult.flat_weights``.
+    """
+    sizes = [10 * (i + 1) for i in range(num_clients)]
+    steps = [1 + (i % 5) for i in range(num_clients)]
+
+    with using_dtype("float64"):
+        dicts64 = [
+            build_model(arch, rng=np.random.default_rng(i)).get_weights()
+            for i in range(num_clients)
+        ]
+        global64 = build_model(arch, rng=np.random.default_rng(99)).get_weights()
+    with using_dtype("float32"):
+        models32 = [build_model(arch, rng=np.random.default_rng(i)) for i in range(num_clients)]
+        rows32 = [model.get_flat_weights() for model in models32]
+        global32 = build_model(arch, rng=np.random.default_rng(99)).get_flat_weights()
+    rows64 = [np.concatenate([value.ravel() for value in weights.values()]) for weights in dicts64]
+    global64_vec = np.concatenate([value.ravel() for value in global64.values()])
+
+    fedavg_updates = list(zip(dicts64, sizes))
+    fednova_updates = list(zip(dicts64, sizes, steps))
+
+    fedavg = {
+        "reference_ms": _time_ms(
+            lambda: reference_fedavg_aggregate(fedavg_updates), repeats, warmup
+        ),
+        "flat_float64_ms": _time_ms(
+            lambda: fedavg_aggregate_flat(rows64, sizes), repeats, warmup
+        ),
+        "flat_float32_ms": _time_ms(
+            lambda: fedavg_aggregate_flat(rows32, sizes), repeats, warmup
+        ),
+    }
+    fedavg["speedup"] = fedavg["reference_ms"] / fedavg["flat_float32_ms"]
+
+    fednova = {
+        "reference_ms": _time_ms(
+            lambda: reference_fednova_aggregate(global64, fednova_updates), repeats, warmup
+        ),
+        "flat_float64_ms": _time_ms(
+            lambda: fednova_aggregate_flat(global64_vec, rows64, sizes, steps), repeats, warmup
+        ),
+        "flat_float32_ms": _time_ms(
+            lambda: fednova_aggregate_flat(global32, rows32, sizes, steps), repeats, warmup
+        ),
+    }
+    fednova["speedup"] = fednova["reference_ms"] / fednova["flat_float32_ms"]
+
+    return {"fedavg": fedavg, "fednova": fednova}
+
+
+def run_engine_bench(
+    architectures: Sequence[str] = DEFAULT_ARCHITECTURES,
+    batch_size: int = 32,
+    repeats: int = 20,
+    warmup: int = 3,
+    num_clients: int = AGGREGATION_CLIENTS,
+    output_path: Optional[str] = "BENCH_engine.json",
+) -> Dict[str, object]:
+    """Run every engine microbenchmark; optionally write ``BENCH_engine.json``."""
+    results: Dict[str, object] = {
+        "meta": {
+            "batch_size": batch_size,
+            "repeats": repeats,
+            "warmup": warmup,
+            "aggregation_clients": num_clients,
+            "unit": "ms (median)",
+            "reference": "seed engine (repro.nn.reference): float64, per-key loops",
+        },
+        "train_step": {},
+        "eval_step": {},
+        "aggregation": {},
+    }
+    for arch in architectures:
+        results["train_step"][arch] = bench_train_step(arch, batch_size, repeats, warmup)
+        results["eval_step"][arch] = bench_eval_step(arch, batch_size, repeats, warmup)
+    # Aggregation cost scales with parameter count, not architecture detail;
+    # benchmark it on the first (paper-default) architecture.
+    results["aggregation"][architectures[0]] = bench_aggregation(
+        architectures[0], num_clients, max(repeats * 5, 50), warmup * 5
+    )
+    if output_path:
+        with open(output_path, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        results["meta"]["output_path"] = output_path  # type: ignore[index]
+    return results
+
+
+def render_engine_bench(results: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`run_engine_bench` results."""
+    lines: List[str] = []
+    meta = results["meta"]
+    lines.append("engine microbenchmarks (median ms; reference = seed float64 engine)")
+    lines.append(
+        f"  batch_size={meta['batch_size']}  repeats={meta['repeats']}  "
+        f"aggregation_clients={meta['aggregation_clients']}"
+    )
+    header = f"  {'benchmark':<28} {'reference':>10} {'float64':>10} {'float32':>10} {'speedup':>9}"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for section, title in (("train_step", "train"), ("eval_step", "eval")):
+        for arch, row in results[section].items():  # type: ignore[union-attr]
+            lines.append(
+                f"  {title + ' ' + arch:<28} {row['reference_ms']:>10.2f} "
+                f"{row['float64_ms']:>10.2f} {row['float32_ms']:>10.2f} "
+                f"{row['speedup']:>8.2f}x"
+            )
+    for arch, rules in results["aggregation"].items():  # type: ignore[union-attr]
+        for rule, row in rules.items():
+            lines.append(
+                f"  {rule + ' agg ' + arch:<28} {row['reference_ms']:>10.3f} "
+                f"{row['flat_float64_ms']:>10.3f} {row['flat_float32_ms']:>10.3f} "
+                f"{row['speedup']:>8.2f}x"
+            )
+    return "\n".join(lines)

@@ -72,10 +72,18 @@ def config_hash(config: ExperimentConfig) -> str:
     # serve results computed by a different release of the simulation code.
     # Within a release, editing simulation internals still requires clearing
     # the cache (or bumping CACHE_FORMAT).
+    canonical_config = _canonical(dataclasses.asdict(config))
+    # A config with dtype=None resolves to the process-wide compute dtype at
+    # build time, so the *effective* dtype must be part of the key — otherwise
+    # a REPRO_DTYPE=float64 run would be served float32 results cached earlier
+    # (accuracy values differ across dtypes even though simulated times don't).
+    from repro.nn.dtype import resolve_dtype
+
+    canonical_config["dtype"] = resolve_dtype(config.dtype).name
     payload = {
         "format": CACHE_FORMAT,
         "version": repro.__version__,
-        "config": _canonical(dataclasses.asdict(config)),
+        "config": canonical_config,
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -234,6 +242,19 @@ def run_configs_parallel(
         Callback invoked with ``(label, result)`` as each cell finishes.
         Unlike the serial runner this fires in *completion* order.
     """
+    # Pin the effective compute dtype into every config before hashing or
+    # shipping it to a worker: a worker process resolves dtype=None from its
+    # *own* environment (fresh module state under the spawn start method), so
+    # an explicit set_compute_dtype() in the parent would otherwise hash one
+    # dtype and execute another.
+    from repro.nn.dtype import resolve_dtype
+
+    configs = {
+        label: config
+        if config.dtype is not None
+        else config.with_overrides(dtype=resolve_dtype(None).name)
+        for label, config in configs.items()
+    }
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     suite = SuiteResult()
     pending: List[Tuple[str, ExperimentConfig]] = []

@@ -10,17 +10,223 @@ Two aggregation rules from the paper's evaluation are implemented:
   of local steps: each client's *update direction* is normalised by its
   number of steps before averaging, and the average direction is rescaled
   by the effective number of steps.
+
+Both rules run on **flat parameter vectors** (the federators feed them the
+clients' ``TrainingResult.flat_weights`` directly): the reduction is a
+handful of fused vector operations per client instead of a per-key Python
+loop.  The reduction
+accumulates client-by-client in a fixed order, so ``float64`` results are
+bit-identical with the original per-key implementation.  The dictionary
+entry points (:func:`weighted_average`, :func:`fedavg_aggregate`,
+:func:`fednova_aggregate`) are thin adapters around the flat kernels, so
+every existing caller keeps working.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 Weights = Dict[str, np.ndarray]
 
+#: Layout of a flat weight vector: ordered (key, offset, size, shape) tuples.
+WeightSpec = Tuple[Tuple[str, int, int, Tuple[int, ...]], ...]
 
+
+# ---------------------------------------------------------------------------
+# Flat packing / unpacking
+# ---------------------------------------------------------------------------
+def weight_spec(weights: Weights) -> WeightSpec:
+    """Derive the flat layout of a weight dictionary (insertion order)."""
+    spec: List[Tuple[str, int, int, Tuple[int, ...]]] = []
+    offset = 0
+    for key, value in weights.items():
+        size = int(value.size)
+        spec.append((key, offset, size, tuple(value.shape)))
+        offset += size
+    return tuple(spec)
+
+
+def spec_size(spec: WeightSpec) -> int:
+    """Total number of scalars described by a spec."""
+    if not spec:
+        return 0
+    _, offset, size, _ = spec[-1]
+    return offset + size
+
+
+def flatten_weights(weights: Weights, spec: WeightSpec, out: np.ndarray = None) -> np.ndarray:
+    """Pack a weight dictionary into one contiguous vector following ``spec``."""
+    total = spec_size(spec)
+    if out is None:
+        dtype = np.result_type(*(weights[key].dtype for key, _, _, _ in spec)) if spec else np.float64
+        out = np.empty(total, dtype=dtype)
+    for key, offset, size, shape in spec:
+        try:
+            value = weights[key]
+        except KeyError:
+            raise ValueError(f"all weight sets must have identical keys (missing {key!r})") from None
+        if tuple(value.shape) != shape:
+            raise ValueError(
+                f"shape mismatch for {key!r}: expected {shape}, got {tuple(value.shape)}"
+            )
+        out[offset : offset + size] = value.reshape(-1)
+    return out
+
+
+def unflatten_weights(vector: np.ndarray, spec: WeightSpec) -> Weights:
+    """Unpack a flat vector into a weight dictionary following ``spec``."""
+    weights: Weights = {}
+    for key, offset, size, shape in spec:
+        weights[key] = vector[offset : offset + size].reshape(shape).copy()
+    return weights
+
+
+# ---------------------------------------------------------------------------
+# Flat reduction kernels
+# ---------------------------------------------------------------------------
+FlatRows = Sequence[np.ndarray]
+
+#: Above this vector length the (K, P) stacking copy costs more than the
+#: BLAS reduction saves, so the sequential fused loop is used instead.
+_GEMV_MAX_SIZE = 16_384
+
+
+def _as_rows(matrix_or_rows: FlatRows) -> List[np.ndarray]:
+    """Normalise a (K, P) matrix or a sequence of K flat vectors to row views."""
+    if isinstance(matrix_or_rows, np.ndarray):
+        if matrix_or_rows.ndim != 2:
+            raise ValueError("expected a (K, P) matrix of stacked flat weight vectors")
+        return list(matrix_or_rows)
+    rows = list(matrix_or_rows)
+    for row in rows:
+        if row.ndim != 1 or row.shape != rows[0].shape:
+            raise ValueError("all flat weight vectors must be 1-D with identical shapes")
+    return rows
+
+
+def _normalised_coefficients(coefficients: Sequence[float]) -> List[float]:
+    total = float(sum(coefficients))
+    if total <= 0:
+        raise ValueError("coefficients must sum to a positive value")
+    return [float(coefficient) / total for coefficient in coefficients]
+
+
+def _weighted_accumulate(
+    rows: Iterable[np.ndarray],
+    coefficients: Sequence[float],
+    accumulator: np.ndarray,
+    scratch: np.ndarray,
+) -> np.ndarray:
+    """Shared streaming reduction: ``accumulator += c_k * row_k`` per client.
+
+    This is the single definition of the bit-order-sensitive FedAvg loop;
+    the flat kernel and the dictionary adapter both stream their rows
+    through it, so the two paths cannot diverge bitwise **in float64** (the
+    mode carrying the bit-compatibility guarantee).  In float32 the flat
+    kernel may instead take the BLAS branch in
+    :func:`weighted_average_flat`, whose summation order differs at the
+    ~1e-7 level.  ``rows`` may be a lazy iterator whose items reuse one
+    buffer — each row is consumed before the next is produced.
+    """
+    for row, coefficient in zip(rows, coefficients):
+        np.multiply(row, coefficient, out=scratch)
+        accumulator += scratch
+    return accumulator
+
+
+def weighted_average_flat(matrix: FlatRows, coefficients: Sequence[float]) -> np.ndarray:
+    """Coefficient-weighted average of flat weight vectors.
+
+    ``matrix`` is a stacked ``(K, P)`` array or a sequence of ``K`` flat
+    vectors (no stacking copy needed).  Coefficients are normalised to sum
+    to one.  The accumulation runs client-by-client (deterministic order)
+    with one fused multiply and one fused add per client, so it reproduces
+    the per-key loop bit-for-bit in ``float64`` while touching each
+    parameter only twice.
+    """
+    rows = _as_rows(matrix)
+    if not rows:
+        raise ValueError("weighted_average_flat needs at least one weight vector")
+    if len(rows) != len(coefficients):
+        raise ValueError("weight_sets and coefficients must have the same length")
+    normalised = _normalised_coefficients(coefficients)
+    if rows[0].dtype != np.float64 and rows[0].size <= _GEMV_MAX_SIZE:
+        # Single BLAS reduction.  Its summation order differs from the
+        # client-by-client loop, which only matters for the float64
+        # bit-compatibility guarantee — so this path is float32-only; above
+        # the size cutoff the stacking copy outweighs the BLAS win.
+        stacked = np.stack(rows)
+        return np.asarray(normalised, dtype=stacked.dtype) @ stacked
+    accumulator = np.zeros(rows[0].shape, dtype=rows[0].dtype)
+    return _weighted_accumulate(rows, normalised, accumulator, np.empty_like(accumulator))
+
+
+def fedavg_aggregate_flat(matrix: FlatRows, sizes: Sequence[float]) -> np.ndarray:
+    """FedAvg on flat vectors: dataset-size weighted average."""
+    rows = _as_rows(matrix)
+    if not rows:
+        raise ValueError("FedAvg needs at least one client update")
+    normalised = [float(max(size, 0)) for size in sizes]
+    if sum(normalised) <= 0:
+        normalised = [1.0] * len(rows)
+    return weighted_average_flat(rows, normalised)
+
+
+def _fednova_coefficients(
+    sizes: Sequence[float], steps: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Data-size weights ``p``, step counts ``tau``, and ``tau_eff``."""
+    size_arr = np.array([float(max(size, 0)) for size in sizes])
+    if size_arr.sum() <= 0:
+        size_arr = np.ones(len(size_arr))
+    p = size_arr / size_arr.sum()
+    taus = np.array([float(max(num_steps, 1)) for num_steps in steps])
+    return p, taus, float(np.sum(p * taus))
+
+
+def _fednova_reduce(
+    global_vector: np.ndarray,
+    rows: Iterable[np.ndarray],
+    p: np.ndarray,
+    taus: np.ndarray,
+    tau_eff: float,
+) -> np.ndarray:
+    """Shared streaming FedNova reduction (single bit-order-sensitive loop).
+
+    Same operation order as the original per-key loop:
+    ``direction += p_k * (g - w_k) / tau_k`` then ``g - tau_eff * direction``.
+    ``rows`` may be a lazy iterator whose items reuse one buffer.
+    """
+    direction = np.zeros_like(global_vector)
+    scratch = np.empty_like(global_vector)
+    for row, p_k, tau_k in zip(rows, p, taus):
+        np.subtract(global_vector, row, out=scratch)
+        scratch *= float(p_k)
+        scratch /= float(tau_k)
+        direction += scratch
+    np.multiply(direction, tau_eff, out=scratch)
+    return global_vector - scratch
+
+
+def fednova_aggregate_flat(
+    global_vector: np.ndarray,
+    matrix: FlatRows,
+    sizes: Sequence[float],
+    steps: Sequence[int],
+) -> np.ndarray:
+    """FedNova on flat vectors (see :func:`fednova_aggregate`)."""
+    rows = _as_rows(matrix)
+    if not rows:
+        raise ValueError("FedNova needs at least one client update")
+    p, taus, tau_eff = _fednova_coefficients(sizes, steps)
+    return _fednova_reduce(global_vector, rows, p, taus, tau_eff)
+
+
+# ---------------------------------------------------------------------------
+# Dictionary adapters (the public API used by the federators)
+# ---------------------------------------------------------------------------
 def weighted_average(weight_sets: Sequence[Weights], coefficients: Sequence[float]) -> Weights:
     """Coefficient-weighted average of several weight dictionaries.
 
@@ -31,21 +237,27 @@ def weighted_average(weight_sets: Sequence[Weights], coefficients: Sequence[floa
         raise ValueError("cannot average an empty list of weight sets")
     if len(weight_sets) != len(coefficients):
         raise ValueError("weight_sets and coefficients must have the same length")
-    total = float(sum(coefficients))
-    if total <= 0:
-        raise ValueError("coefficients must sum to a positive value")
+    normalised = _normalised_coefficients(coefficients)
+    spec = weight_spec(weight_sets[0])
     keys = set(weight_sets[0].keys())
     for weights in weight_sets[1:]:
         if set(weights.keys()) != keys:
             raise ValueError("all weight sets must have identical keys")
-
-    averaged: Weights = {}
-    for key in weight_sets[0]:
-        accumulator = np.zeros_like(weight_sets[0][key])
-        for weights, coefficient in zip(weight_sets, coefficients):
-            accumulator += (coefficient / total) * weights[key]
-        averaged[key] = accumulator
-    return averaged
+    if not spec:
+        return {}
+    # Flatten one client at a time into a reused row buffer and stream the
+    # rows through the shared fused reduction — no (K, P) matrix, and the
+    # exact operation order of the flat kernel.
+    dtype = np.result_type(*(value.dtype for value in weight_sets[0].values()))
+    accumulator = np.zeros(spec_size(spec), dtype=dtype)
+    row = np.empty_like(accumulator)
+    averaged = _weighted_accumulate(
+        (flatten_weights(weights, spec, out=row) for weights in weight_sets),
+        normalised,
+        accumulator,
+        np.empty_like(accumulator),
+    )
+    return unflatten_weights(averaged, spec)
 
 
 def fedavg_aggregate(updates: Sequence[Tuple[Weights, int]]) -> Weights:
@@ -58,11 +270,10 @@ def fedavg_aggregate(updates: Sequence[Tuple[Weights, int]]) -> Weights:
     """
     if not updates:
         raise ValueError("FedAvg needs at least one client update")
-    weight_sets = [weights for weights, _ in updates]
     sizes = [float(max(num_samples, 0)) for _, num_samples in updates]
     if sum(sizes) <= 0:
         sizes = [1.0] * len(updates)
-    return weighted_average(weight_sets, sizes)
+    return weighted_average([weights for weights, _ in updates], sizes)
 
 
 def fednova_aggregate(
@@ -90,20 +301,21 @@ def fednova_aggregate(
     """
     if not updates:
         raise ValueError("FedNova needs at least one client update")
-    sizes = np.array([float(max(num_samples, 0)) for _, num_samples, _ in updates])
-    if sizes.sum() <= 0:
-        sizes = np.ones(len(updates))
-    p = sizes / sizes.sum()
-    taus = np.array([float(max(num_steps, 1)) for _, _, num_steps in updates])
-    tau_eff = float(np.sum(p * taus))
-
-    new_weights: Weights = {}
-    for key, global_value in global_weights.items():
-        direction = np.zeros_like(global_value)
-        for (weights, _, _), p_k, tau_k in zip(updates, p, taus):
-            direction += p_k * (global_value - weights[key]) / tau_k
-        new_weights[key] = global_value - tau_eff * direction
-    return new_weights
+    spec = weight_spec(global_weights)
+    global_vector = flatten_weights(global_weights, spec)
+    p, taus, tau_eff = _fednova_coefficients(
+        [num_samples for _, num_samples, _ in updates],
+        [num_steps for _, _, num_steps in updates],
+    )
+    row = np.empty_like(global_vector)
+    new_vector = _fednova_reduce(
+        global_vector,
+        (flatten_weights(weights, spec, out=row) for weights, _, _ in updates),
+        p,
+        taus,
+        tau_eff,
+    )
+    return unflatten_weights(new_vector, spec)
 
 
 def average_metric(values: Sequence[float], sizes: Sequence[float]) -> float:

@@ -36,7 +36,7 @@ from repro.fl.messages import MessageKind, OffloadResult, ProfileReport, Trainin
 from repro.nn.model import Phase, SplitCNN
 from repro.nn.optim import Optimizer, ProximalSGD, SGD
 from repro.simulation.cluster import FEDERATOR_ID, SimulatedCluster
-from repro.simulation.network import Message
+from repro.simulation.network import Message, weights_wire_bytes
 
 
 class FLClient:
@@ -162,7 +162,15 @@ class FLClient:
         self.model.set_weights(payload["weights"])
         self.optimizer.reset_state()
         if isinstance(self.optimizer, ProximalSGD):
-            self.optimizer.set_anchor(payload["weights"])
+            # Anchor the proximal term on the just-loaded global weights,
+            # held as one contiguous vector per section so the proximal
+            # gradient is a fused vector operation (set_anchor copies).
+            self.optimizer.set_anchor(
+                {
+                    section: self.model.flat_parameters(section)
+                    for section in self.model.SECTIONS
+                }
+            )
 
         self.rounds_participated += 1
         self._train_own_batch()
@@ -257,11 +265,12 @@ class FLClient:
         remaining = self._total_batches - self._batches_done
         if remaining <= 0 or remaining > self._offload_budget:
             return
-        # Freeze the feature layers and ship the model to the strong client.
-        package = FrozenModelPackage(
+        # Freeze the feature layers and ship the model to the strong client
+        # as one flat vector snapshot (no per-key dictionaries are built).
+        package = FrozenModelPackage.from_model(
+            self.model,
             source_client_id=self.client_id,
             round_number=self._round if self._round is not None else -1,
-            weights=self.model.get_weights(),
             batches_to_train=remaining,
         )
         self.network.send(
@@ -292,6 +301,7 @@ class FLClient:
             client_id=self.client_id,
             round_number=self._round if self._round is not None else -1,
             weights=self.model.get_weights(),
+            flat_weights=self.model.get_flat_weights(),
             num_samples=self.num_samples,
             num_steps=self._batches_done,
             train_loss=float(np.mean(self._losses)) if self._losses else 0.0,
@@ -306,7 +316,7 @@ class FLClient:
             MessageKind.TRAIN_RESULT,
             payload=result,
             round_number=result.round_number,
-            size_bytes=float(sum(a.nbytes for a in result.weights.values())),
+            size_bytes=weights_wire_bytes(result.weights),
         )
         if self._incoming_package is not None and not self._offload_training_active:
             self._start_offloaded_training()
@@ -320,7 +330,7 @@ class FLClient:
         self._offload_batches_done = 0
         if self._offload_model is None:
             self._offload_model = self.model.clone_architecture()
-        self._offload_model.set_weights(package.weights)
+        package.load_into(self._offload_model)
         self._offload_model.unfreeze_features()
         self._offload_model.freeze_classifier()
         self._offload_optimizer = SGD(
@@ -373,5 +383,5 @@ class FLClient:
             MessageKind.OFFLOAD_RESULT,
             payload=result,
             round_number=result.round_number,
-            size_bytes=float(sum(a.nbytes for a in feature_weights.values())),
+            size_bytes=weights_wire_bytes(feature_weights),
         )

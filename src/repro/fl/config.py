@@ -88,6 +88,13 @@ class ExperimentConfig:
     network_latency_s: float = 0.01
     network_bandwidth_bytes_per_s: float = 125e6
 
+    # Compute engine
+    #: Numeric width of the numpy engine: "float32" (fast default),
+    #: "float64" (bit-identical with the original engine), or None to use
+    #: the process-wide default (REPRO_DTYPE env var, else float32).
+    #: FLOP accounting and simulated times are identical across dtypes.
+    dtype: Optional[str] = None
+
     # Reproducibility
     seed: int = 42
 
@@ -110,6 +117,10 @@ class ExperimentConfig:
             raise ValueError("deadline_seconds must be positive when set")
         if self.aergia_similarity_factor < 0:
             raise ValueError("aergia_similarity_factor must be non-negative")
+        if self.dtype is not None and self.dtype not in {"float32", "float64"}:
+            raise ValueError(
+                f"unknown compute dtype {self.dtype!r}; valid: float32, float64 (or None)"
+            )
 
     @property
     def effective_clients_per_round(self) -> int:
@@ -132,4 +143,5 @@ class ExperimentConfig:
             "rounds": self.rounds,
             "local_updates": self.local_updates,
             "seed": self.seed,
+            "dtype": self.dtype,
         }

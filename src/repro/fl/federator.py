@@ -20,14 +20,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.fl.aggregation import average_metric, fedavg_aggregate
+from repro.fl.aggregation import (
+    average_metric,
+    fedavg_aggregate,
+    fedavg_aggregate_flat,
+    unflatten_weights,
+    weight_spec,
+)
 from repro.fl.config import ExperimentConfig
 from repro.fl.messages import MessageKind, OffloadResult, ProfileReport, TrainingResult
 from repro.fl.metrics import ExperimentResult, RoundRecord
 from repro.fl.selection import select_all, select_random
 from repro.nn.model import SplitCNN
 from repro.simulation.cluster import FEDERATOR_ID, SimulatedCluster
-from repro.simulation.network import Message
+from repro.simulation.network import Message, weights_wire_bytes
 
 Weights = Dict[str, np.ndarray]
 
@@ -137,8 +143,39 @@ class BaseFederator:
             contributions.append((result.weights, result.num_samples, result.num_steps))
         return contributions
 
+    def flat_contributions(
+        self, state: RoundState, contributions: List[Tuple[Weights, int, int]]
+    ) -> Optional[List[np.ndarray]]:
+        """Flat vectors for contributions that are verbatim client states.
+
+        A contribution qualifies when its weight dictionary is the *same
+        object* a client reported (so subclasses that post-process weights —
+        e.g. Aergia's offload recombination — automatically fall back to the
+        dictionary path) and the client attached a flat vector.  Returns
+        ``None`` unless every contribution qualifies.
+        """
+        by_identity = {
+            id(result.weights): result.flat_weights for result in state.results.values()
+        }
+        rows: List[np.ndarray] = []
+        for weights, _, _ in contributions:
+            row = by_identity.get(id(weights))
+            if row is None:
+                return None
+            rows.append(row)
+        return rows
+
     def aggregate(self, state: RoundState, contributions: List[Tuple[Weights, int, int]]) -> Weights:
-        """Aggregation rule (FedAvg weighted average by default)."""
+        """Aggregation rule (FedAvg weighted average by default).
+
+        The hot path stacks the clients' flat parameter vectors and runs one
+        fused weighted reduction; the per-key dictionary implementation
+        remains as the fallback for post-processed contributions.
+        """
+        rows = self.flat_contributions(state, contributions)
+        if rows is not None:
+            averaged = fedavg_aggregate_flat(rows, [n for _, n, _ in contributions])
+            return unflatten_weights(averaged, weight_spec(contributions[0][0]))
         return fedavg_aggregate([(w, n) for w, n, _ in contributions])
 
     # -------------------------------------------------------------- round loop
@@ -164,7 +201,7 @@ class BaseFederator:
                 MessageKind.TRAIN_REQUEST,
                 payload=payload,
                 round_number=round_number,
-                size_bytes=float(sum(a.nbytes for a in self.global_weights.values())),
+                size_bytes=weights_wire_bytes(self.global_weights),
             )
         self.on_round_started(state)
 

@@ -103,7 +103,15 @@ class ProfileReport:
 
 @dataclass
 class TrainingResult:
-    """A client's contribution at the end of a round."""
+    """A client's contribution at the end of a round.
+
+    ``weights`` is the per-key dictionary view (used by Aergia's
+    recombination and by tests); ``flat_weights`` is the same state as one
+    contiguous vector in :meth:`repro.nn.model.SplitCNN.get_flat_weights`
+    layout.  The federators aggregate the flat vectors directly whenever a
+    contribution is the client's verbatim model state, so the per-round
+    reduction is a handful of fused vector operations.
+    """
 
     client_id: int
     round_number: int
@@ -115,6 +123,7 @@ class TrainingResult:
     offloaded_to: Optional[int] = None
     finished_at: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    flat_weights: Optional[np.ndarray] = field(default=None, repr=False)
 
 
 @dataclass

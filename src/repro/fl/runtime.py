@@ -10,6 +10,7 @@ runs the simulation to completion and returns the
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from importlib import import_module
 from typing import Dict, List, Optional, Tuple, Type
@@ -23,6 +24,7 @@ from repro.fl.config import ExperimentConfig, ResourceConfig
 from repro.fl.federator import BaseFederator
 from repro.fl.metrics import ExperimentResult
 from repro.nn.architectures import build_model
+from repro.nn.dtype import resolve_dtype, using_dtype
 from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.network import LinkSpec
 from repro.simulation.resources import (
@@ -139,8 +141,34 @@ def _estimate_client_batch_seconds(
     }
 
 
+def _cast_dataset(dataset, dtype: np.dtype):
+    """Cast a dataset's images to the compute dtype once, ahead of training.
+
+    Doing the cast here keeps the per-batch path allocation-free: batch
+    loaders slice pre-cast arrays, so ``SplitCNN`` never needs to convert
+    inputs.  A no-op (returning the same object) when the dtype matches.
+    """
+    if dataset.x_train.dtype == dtype and dataset.x_test.dtype == dtype:
+        return dataset
+    return dataclasses.replace(
+        dataset,
+        x_train=dataset.x_train.astype(dtype),
+        x_test=dataset.x_test.astype(dtype),
+    )
+
+
 def build_experiment(config: ExperimentConfig) -> ExperimentHandle:
-    """Assemble a complete experiment from its configuration."""
+    """Assemble a complete experiment from its configuration.
+
+    The experiment's compute dtype (``config.dtype``, else the process-wide
+    default from ``REPRO_DTYPE``) is applied to every model built here and
+    to the dataset arrays; simulated times are dtype-independent.
+    """
+    with using_dtype(resolve_dtype(config.dtype)) as dtype:
+        return _build_experiment(config, dtype)
+
+
+def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHandle:
     rng = np.random.default_rng(config.seed)
 
     dataset = load_dataset(
@@ -149,6 +177,7 @@ def build_experiment(config: ExperimentConfig) -> ExperimentHandle:
         test_size=config.test_size,
         seed=config.seed,
     )
+    dataset = _cast_dataset(dataset, dtype)
     partitions = partition_dataset(
         dataset,
         config.num_clients,

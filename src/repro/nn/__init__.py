@@ -18,6 +18,12 @@ in the experiments are the product of actual learning, while FLOP counts
 per phase feed the cluster simulator's virtual-time cost model.
 """
 
+from repro.nn.dtype import (
+    compute_dtype,
+    resolve_dtype,
+    set_compute_dtype,
+    using_dtype,
+)
 from repro.nn.layers import (
     Layer,
     Conv2D,
@@ -43,6 +49,10 @@ from repro.nn.architectures import (
 )
 
 __all__ = [
+    "compute_dtype",
+    "resolve_dtype",
+    "set_compute_dtype",
+    "using_dtype",
     "Layer",
     "Conv2D",
     "Dense",

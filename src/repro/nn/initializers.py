@@ -5,14 +5,28 @@ every model in a simulated federated cluster can be constructed
 deterministically from a seed.  This is essential for reproducing the
 paper's experiments: the federator and every client must start from the
 same global model.
+
+Random draws always happen in ``float64`` and are cast to the compute
+dtype afterwards, so a ``float32`` model is the *rounded* version of the
+corresponding ``float64`` model — the underlying random stream (and hence
+seed bookkeeping) is identical in both modes.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.nn.dtype import DtypeLike, resolve_dtype
 
-def he_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+
+def he_normal(
+    shape: tuple,
+    fan_in: int,
+    rng: np.random.Generator,
+    dtype: Optional[DtypeLike] = None,
+) -> np.ndarray:
     """He (Kaiming) normal initialisation, suited to ReLU networks.
 
     Parameters
@@ -23,17 +37,25 @@ def he_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray
         Number of input units feeding each output unit.
     rng:
         Source of randomness.
+    dtype:
+        Target dtype; defaults to the global compute dtype.
     """
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape).astype(np.float64)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def xavier_uniform(
+    shape: tuple,
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    dtype: Optional[DtypeLike] = None,
+) -> np.ndarray:
     """Glorot/Xavier uniform initialisation."""
     limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def zeros(shape: tuple) -> np.ndarray:
+def zeros(shape: tuple, dtype: Optional[DtypeLike] = None) -> np.ndarray:
     """All-zero initialisation, used for biases."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=resolve_dtype(dtype))

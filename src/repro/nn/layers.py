@@ -11,8 +11,18 @@ Every layer exposes:
   which is how the reproduction recreates the heterogeneous training times
   of the paper's Docker/Kubernetes testbed without real CPU throttling.
 
-Layers operate on ``float64`` arrays in ``(N, C, H, W)`` layout for images
-and ``(N, F)`` layout for flat features.
+Layers operate on arrays of the configured compute dtype (see
+:mod:`repro.nn.dtype`; ``float32`` by default, ``float64`` opt-in) in
+``(N, C, H, W)`` layout for images and ``(N, F)`` layout for flat features.
+
+The per-batch path is engineered to be allocation-free where possible:
+scratch buffers (im2col columns, padded inputs, ReLU masks, pooling
+windows) are reused across same-shape batches, ``zero_grad`` fills
+existing gradient buffers in place, and ``MaxPool2D`` caches the flat
+indices of each window's maximum instead of materialising boolean masks.
+In ``float64`` mode every optimisation preserves the exact floating-point
+operation order of the original implementation, so results are
+bit-identical with the seed engine.
 """
 
 from __future__ import annotations
@@ -21,7 +31,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import DtypeLike
 from repro.nn.initializers import he_normal, zeros
+
+
+def _scratch(current: Optional[np.ndarray], shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """Return ``current`` if it matches ``shape``/``dtype``, else a new buffer."""
+    if current is not None and current.shape == shape and current.dtype == dtype:
+        return current
+    return np.empty(shape, dtype=dtype)
 
 
 class Layer:
@@ -57,9 +75,38 @@ class Layer:
         return self._grads
 
     def zero_grad(self) -> None:
-        """Reset all gradient buffers to zero."""
+        """Reset all gradient buffers to zero (in place, without reallocating)."""
         for key, value in self._params.items():
-            self._grads[key] = np.zeros_like(value)
+            grad = self._grads.get(key)
+            if grad is not None and grad.shape == value.shape and grad.dtype == value.dtype:
+                grad.fill(0)
+            else:
+                self._grads[key] = np.zeros_like(value)
+
+    def rebase_parameters(
+        self,
+        param_views: Dict[str, np.ndarray],
+        grad_views: Dict[str, np.ndarray],
+    ) -> None:
+        """Move parameters and gradients onto externally owned array views.
+
+        :class:`repro.nn.model.SplitCNN` uses this to place every parameter
+        of a model section into one contiguous flat buffer; the views keep
+        the per-layer dict API intact while aggregation and optimiser steps
+        operate on the underlying vector.  Current values are copied into
+        the views (casting to the view dtype if necessary).
+        """
+        for key in self._params:
+            view = param_views[key]
+            view[...] = self._params[key]
+            self._params[key] = view
+            gview = grad_views[key]
+            old_grad = self._grads.get(key)
+            if old_grad is not None and old_grad.shape == gview.shape:
+                gview[...] = old_grad
+            else:
+                gview.fill(0)
+            self._grads[key] = gview
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters in this layer."""
@@ -71,69 +118,6 @@ class Layer:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.__class__.__name__}()"
-
-
-# --------------------------------------------------------------------------
-# im2col helpers
-# --------------------------------------------------------------------------
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
-    """Rearrange image patches into columns.
-
-    Parameters
-    ----------
-    x:
-        Input of shape ``(N, C, H, W)``.
-    kh, kw:
-        Kernel height and width.
-    stride:
-        Stride of the convolution.
-    pad:
-        Symmetric zero padding applied to both spatial dimensions.
-
-    Returns
-    -------
-    numpy.ndarray
-        Array of shape ``(N, out_h, out_w, C * kh * kw)``.
-    """
-    n, c, h, w = x.shape
-    if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
-    out_h = (h + 2 * pad - kh) // stride + 1
-    out_w = (w + 2 * pad - kw) // stride + 1
-
-    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
-        i_max = i + stride * out_h
-        for j in range(kw):
-            j_max = j + stride * out_w
-            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
-    # (N, out_h, out_w, C*kh*kw)
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n, out_h, out_w, c * kh * kw)
-
-
-def _col2im(
-    cols: np.ndarray,
-    x_shape: Tuple[int, int, int, int],
-    kh: int,
-    kw: int,
-    stride: int,
-    pad: int,
-) -> np.ndarray:
-    """Inverse of :func:`_im2col`, accumulating overlapping patches."""
-    n, c, h, w = x_shape
-    out_h = (h + 2 * pad - kh) // stride + 1
-    out_w = (w + 2 * pad - kw) // stride + 1
-    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-
-    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
-    for i in range(kh):
-        i_max = i + stride * out_h
-        for j in range(kw):
-            j_max = j + stride * out_w
-            x_padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
-    if pad > 0:
-        return x_padded[:, :, pad:-pad, pad:-pad]
-    return x_padded
 
 
 # --------------------------------------------------------------------------
@@ -156,6 +140,14 @@ class Conv2D(Layer):
         Generator used for He-normal weight initialisation.  A default
         generator is created when omitted, which is convenient in tests but
         should be avoided in experiments that must be reproducible.
+    dtype:
+        Parameter dtype; defaults to the global compute dtype.
+
+    The im2col column matrix — the largest per-batch intermediate, ``k**2``
+    times the input size — lives in a scratch buffer that is reused across
+    batches of the same shape.  Training and inference use separate column
+    scratches so that an evaluation pass between ``forward(training=True)``
+    and ``backward`` cannot clobber the cached activations.
     """
 
     def __init__(
@@ -166,6 +158,7 @@ class Conv2D(Layer):
         stride: int = 1,
         padding: int = 0,
         rng: Optional[np.random.Generator] = None,
+        dtype: Optional[DtypeLike] = None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
@@ -177,13 +170,19 @@ class Conv2D(Layer):
 
         fan_in = in_channels * kernel_size * kernel_size
         self._params["W"] = he_normal(
-            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng, dtype=dtype
         )
-        self._params["b"] = zeros((out_channels,))
+        self._params["b"] = zeros((out_channels,), dtype=dtype)
         self.zero_grad()
 
         self._cache_cols: Optional[np.ndarray] = None
         self._cache_x_shape: Optional[Tuple[int, int, int, int]] = None
+        # Reused scratch buffers (see class docstring).
+        self._cols_train: Optional[np.ndarray] = None
+        self._cols_eval: Optional[np.ndarray] = None
+        self._pad_scratch: Optional[np.ndarray] = None
+        self._grad_cols_scratch: Optional[np.ndarray] = None
+        self._col2im_scratch: Optional[np.ndarray] = None
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -192,14 +191,58 @@ class Conv2D(Layer):
         out_w = (w + 2 * p - k) // s + 1
         return (self.out_channels, out_h, out_w)
 
+    # ------------------------------------------------------------- im2col
+    def _padded(self, x: np.ndarray) -> np.ndarray:
+        """Zero-padded input, built in a reused scratch buffer.
+
+        Only the interior is rewritten on each call; the zero border is
+        written once when the buffer is (re)allocated and stays untouched.
+        """
+        p = self.padding
+        if p == 0:
+            return x
+        n, c, h, w = x.shape
+        shape = (n, c, h + 2 * p, w + 2 * p)
+        if (
+            self._pad_scratch is None
+            or self._pad_scratch.shape != shape
+            or self._pad_scratch.dtype != x.dtype
+        ):
+            self._pad_scratch = np.zeros(shape, dtype=x.dtype)
+        self._pad_scratch[:, :, p:-p, p:-p] = x
+        return self._pad_scratch
+
+    def _im2col(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Patch-to-column rearrangement into a reused scratch buffer.
+
+        Returns a C-contiguous array of shape ``(N, out_h, out_w, C*k*k)``.
+        """
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        shape = (n, out_h, out_w, c * k * k)
+        if training:
+            cols = self._cols_train = _scratch(self._cols_train, shape, x.dtype)
+        else:
+            cols = self._cols_eval = _scratch(self._cols_eval, shape, x.dtype)
+        padded = self._padded(x)
+        cols6 = cols.reshape(n, out_h, out_w, c, k, k)
+        # One C-level strided copy via a sliding-window view instead of k*k
+        # per-offset slice assignments (~3x faster for 5x5 kernels).
+        windows = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
+        np.copyto(cols6, windows[:, :, ::s, ::s].transpose(0, 2, 3, 1, 4, 5))
+        return cols
+
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         n = x.shape[0]
         k = self.kernel_size
-        cols = _im2col(x, k, k, self.stride, self.padding)
+        cols = self._im2col(x, training)
         out_h, out_w = cols.shape[1], cols.shape[2]
 
         w_mat = self._params["W"].reshape(self.out_channels, -1)
-        out = cols.reshape(n * out_h * out_w, -1) @ w_mat.T + self._params["b"]
+        out = cols.reshape(n * out_h * out_w, -1) @ w_mat.T
+        out += self._params["b"]
         out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
 
         if training:
@@ -215,7 +258,7 @@ class Conv2D(Layer):
         if self._cache_cols is None or self._cache_x_shape is None:
             raise RuntimeError("Conv2D.backward called before forward(training=True)")
         n, _, out_h, out_w = grad_out.shape
-        k = self.kernel_size
+        k, s, p = self.kernel_size, self.stride, self.padding
         cols = self._cache_cols
         w_mat = self._params["W"].reshape(self.out_channels, -1)
 
@@ -226,15 +269,26 @@ class Conv2D(Layer):
         self._grads["W"] += grad_w.reshape(self._params["W"].shape)
         self._grads["b"] += grad_flat.sum(axis=0)
 
-        grad_cols = grad_flat @ w_mat
-        grad_x = _col2im(
-            grad_cols.reshape(n, out_h, out_w, -1),
-            self._cache_x_shape,
-            k,
-            k,
-            self.stride,
-            self.padding,
+        result_dtype = np.result_type(grad_flat.dtype, w_mat.dtype)
+        self._grad_cols_scratch = _scratch(
+            self._grad_cols_scratch, (grad_flat.shape[0], w_mat.shape[1]), result_dtype
         )
+        grad_cols = np.matmul(grad_flat, w_mat, out=self._grad_cols_scratch)
+
+        # col2im: accumulate overlapping patches into a reused padded buffer.
+        _, c, h, w = self._cache_x_shape
+        acc_shape = (n, c, h + 2 * p, w + 2 * p)
+        self._col2im_scratch = _scratch(self._col2im_scratch, acc_shape, result_dtype)
+        acc = self._col2im_scratch
+        acc.fill(0)
+        gc6 = grad_cols.reshape(n, out_h, out_w, c, k, k)
+        for i in range(k):
+            i_max = i + s * out_h
+            for j in range(k):
+                j_max = j + s * out_w
+                acc[:, :, i:i_max:s, j:j_max:s] += gc6[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+        grad_x = acc[:, :, p:-p, p:-p].copy() if p > 0 else acc.copy()
+
         macs = n * out_h * out_w * self.out_channels * self.in_channels * k * k
         self.last_backward_flops = 4 * macs  # dW and dX matmuls
         return grad_x
@@ -255,13 +309,24 @@ class MaxPool2D(Layer):
     The spatial dimensions must be divisible by ``pool_size``; the
     architectures in :mod:`repro.nn.architectures` are built so that this
     always holds.
+
+    Instead of materialising a 6-D boolean mask plus a per-window tie-break
+    matrix on every forward pass, the layer caches one flat ``intp`` index
+    per pooling window — the position of the window's first maximum in the
+    flattened input — and the backward pass scatters the upstream gradient
+    through those indices.  Ties resolve to the first maximum in row-major
+    window order, exactly as before.
     """
 
     def __init__(self, pool_size: int = 2) -> None:
         super().__init__()
         self.pool_size = pool_size
-        self._cache_mask: Optional[np.ndarray] = None
+        self._cache_flat_idx: Optional[np.ndarray] = None
         self._cache_shape: Optional[Tuple[int, ...]] = None
+        self._idx_scratch: Optional[np.ndarray] = None
+        self._eq_scratch: Optional[np.ndarray] = None
+        self._base_shape: Optional[Tuple[int, ...]] = None
+        self._base_offsets: Optional[np.ndarray] = None
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -271,40 +336,66 @@ class MaxPool2D(Layer):
             )
         return (c, h // self.pool_size, w // self.pool_size)
 
+    def _window_base_offsets(self, shape: Tuple[int, int, int, int]) -> np.ndarray:
+        """Flat index of each pooling window's top-left corner (cached per shape)."""
+        if self._base_shape == shape and self._base_offsets is not None:
+            return self._base_offsets
+        n, c, h, w = shape
+        p = self.pool_size
+        rows = np.arange(0, h, p, dtype=np.intp) * w
+        cols = np.arange(0, w, p, dtype=np.intp)
+        plane = (rows[:, None] + cols[None, :]).ravel()  # (h//p * w//p,)
+        images = np.arange(n * c, dtype=np.intp) * (h * w)
+        self._base_offsets = (images[:, None] + plane[None, :]).ravel()
+        self._base_shape = shape
+        return self._base_offsets
+
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         n, c, h, w = x.shape
         p = self.pool_size
         if h % p or w % p:
             raise ValueError(f"MaxPool2D input spatial dims {h}x{w} not divisible by {p}")
         reshaped = x.reshape(n, c, h // p, p, w // p, p)
-        out = reshaped.max(axis=(3, 5))
+        # One strided view per in-window position, in row-major window order;
+        # a pairwise np.maximum sweep over these is far faster than an
+        # axis-reduction over tiny p*p rows (and bit-identical: max is exact).
+        columns = [reshaped[:, :, :, i, :, j] for i in range(p) for j in range(p)]
+        out = np.empty((n, c, h // p, w // p), dtype=x.dtype)
+        if len(columns) == 1:
+            np.copyto(out, columns[0])
+        else:
+            np.maximum(columns[0], columns[1], out=out)
+            for column in columns[2:]:
+                np.maximum(out, column, out=out)
 
         if training:
-            expanded = out[:, :, :, None, :, None]
-            mask = (reshaped == expanded)
-            # Break ties so gradients are not duplicated: keep only the first max
-            # of each pooling window.  The mask axes are (N, C, H', p, W', p);
-            # bring the two window axes together before flattening them.
-            flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(-1, p * p)
-            first = np.argmax(flat, axis=1)
-            single = np.zeros_like(flat)
-            single[np.arange(flat.shape[0]), first] = True
-            self._cache_mask = (
-                single.reshape(n, c, h // p, w // p, p, p).transpose(0, 1, 2, 4, 3, 5)
-            )
+            # First max of each window: sweep positions from last to first so
+            # the smallest matching index wins, which reproduces the original
+            # boolean-mask tie-break (first max in row-major window order).
+            shape = out.shape
+            idx = self._idx_scratch = _scratch(self._idx_scratch, shape, np.intp)
+            eq = self._eq_scratch = _scratch(self._eq_scratch, shape, bool)
+            idx.fill(len(columns) - 1)
+            for t in range(len(columns) - 2, -1, -1):
+                np.equal(columns[t], out, out=eq)
+                np.copyto(idx, t, where=eq)
+            flat = idx.reshape(-1)
+            in_row, in_col = np.divmod(flat, p)
+            np.multiply(in_row, w, out=in_row)
+            in_row += in_col
+            in_row += self._window_base_offsets(x.shape)
+            self._cache_flat_idx = in_row
             self._cache_shape = x.shape
 
         self.last_forward_flops = x.size
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache_mask is None or self._cache_shape is None:
+        if self._cache_flat_idx is None or self._cache_shape is None:
             raise RuntimeError("MaxPool2D.backward called before forward(training=True)")
         n, c, h, w = self._cache_shape
-        p = self.pool_size
-        grad = np.zeros((n, c, h // p, p, w // p, p), dtype=grad_out.dtype)
-        grad += grad_out[:, :, :, None, :, None]
-        grad *= self._cache_mask
+        grad = np.zeros(n * c * h * w, dtype=grad_out.dtype)
+        grad[self._cache_flat_idx] = grad_out.ravel()
         self.last_backward_flops = grad.size
         return grad.reshape(n, c, h, w)
 
@@ -316,7 +407,11 @@ class MaxPool2D(Layer):
 # Activations and reshaping
 # --------------------------------------------------------------------------
 class ReLU(Layer):
-    """Rectified linear unit activation."""
+    """Rectified linear unit activation.
+
+    The backward mask (``x > 0``) is stored in a compact boolean scratch
+    buffer that is reused across same-shape batches.
+    """
 
     def __init__(self) -> None:
         super().__init__()
@@ -328,7 +423,9 @@ class ReLU(Layer):
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         out = np.maximum(x, 0.0)
         if training:
-            self._cache_mask = x > 0.0
+            if self._cache_mask is None or self._cache_mask.shape != x.shape:
+                self._cache_mask = np.empty(x.shape, dtype=bool)
+            np.greater(x, 0.0, out=self._cache_mask)
         self.last_forward_flops = x.size
         return out
 
@@ -370,13 +467,14 @@ class Dense(Layer):
         in_features: int,
         out_features: int,
         rng: Optional[np.random.Generator] = None,
+        dtype: Optional[DtypeLike] = None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
         self.in_features = in_features
         self.out_features = out_features
-        self._params["W"] = he_normal((in_features, out_features), in_features, rng)
-        self._params["b"] = zeros((out_features,))
+        self._params["W"] = he_normal((in_features, out_features), in_features, rng, dtype=dtype)
+        self._params["b"] = zeros((out_features,), dtype=dtype)
         self.zero_grad()
         self._cache_x: Optional[np.ndarray] = None
 
@@ -387,7 +485,9 @@ class Dense(Layer):
         if training:
             self._cache_x = x
         self.last_forward_flops = 2 * x.shape[0] * self.in_features * self.out_features
-        return x @ self._params["W"] + self._params["b"]
+        out = x @ self._params["W"]
+        out += self._params["b"]
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache_x is None:
@@ -419,18 +519,19 @@ class ResidualBlock(Layer):
         in_channels: int,
         out_channels: int,
         rng: Optional[np.random.Generator] = None,
+        dtype: Optional[DtypeLike] = None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
         self.in_channels = in_channels
         self.out_channels = out_channels
-        self.conv1 = Conv2D(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.conv1 = Conv2D(in_channels, out_channels, 3, padding=1, rng=rng, dtype=dtype)
         self.relu1 = ReLU()
-        self.conv2 = Conv2D(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.conv2 = Conv2D(out_channels, out_channels, 3, padding=1, rng=rng, dtype=dtype)
         self.relu_out = ReLU()
         self.proj: Optional[Conv2D] = None
         if in_channels != out_channels:
-            self.proj = Conv2D(in_channels, out_channels, 1, rng=rng)
+            self.proj = Conv2D(in_channels, out_channels, 1, rng=rng, dtype=dtype)
         self._sync_param_views()
 
     def _sublayers(self) -> List[Tuple[str, Layer]]:
@@ -451,6 +552,20 @@ class ResidualBlock(Layer):
     def zero_grad(self) -> None:
         for _, sub in self._sublayers():
             sub.zero_grad()
+        self._sync_param_views()
+
+    def rebase_parameters(
+        self,
+        param_views: Dict[str, np.ndarray],
+        grad_views: Dict[str, np.ndarray],
+    ) -> None:
+        """Delegate rebasing to sub-layers, then refresh the flattened views."""
+        for prefix, sub in self._sublayers():
+            lead = prefix + "."
+            sub.rebase_parameters(
+                {key[len(lead):]: view for key, view in param_views.items() if key.startswith(lead)},
+                {key[len(lead):]: view for key, view in grad_views.items() if key.startswith(lead)},
+            )
         self._sync_param_views()
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:

@@ -3,6 +3,12 @@
 The paper trains image classifiers with the cross-entropy loss; this module
 provides a numerically stable softmax cross-entropy with the gradient with
 respect to the logits.
+
+The loss follows the dtype of the incoming logits (``float32`` on the
+default fast path, ``float64`` opt-in); the scalar batch mean is always
+accumulated in ``float64`` so that reported losses stay stable regardless
+of the compute dtype.  In ``float64`` mode every value is bit-identical
+with the seed implementation.
 """
 
 from __future__ import annotations
@@ -31,14 +37,14 @@ class CrossEntropyLoss:
         probs = softmax(logits)
         n = logits.shape[0]
         picked = probs[np.arange(n), labels]
-        return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+        return float(-np.mean(np.log(np.clip(picked, 1e-12, None)), dtype=np.float64))
 
     def forward_backward(self, logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
         """Compute the loss and its gradient w.r.t. ``logits`` in one pass."""
         probs = softmax(logits)
         n = logits.shape[0]
         picked = probs[np.arange(n), labels]
-        loss = float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+        loss = float(-np.mean(np.log(np.clip(picked, 1e-12, None)), dtype=np.float64))
         grad = probs.copy()
         grad[np.arange(n), labels] -= 1.0
         grad /= n

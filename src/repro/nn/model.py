@@ -14,6 +14,13 @@ is a pair of layer stacks (features, classifier) and
 :meth:`SplitCNN.train_batch` executes and accounts for the four phases
 separately, optionally skipping ``bf`` (and feature-parameter updates) when
 the features are frozen.
+
+Parameter storage is *flat*: each section (features, classifier) owns one
+contiguous vector per dtype-width scalar, and every layer parameter is a
+named view into it (see :meth:`SplitCNN.flat_parameters`).  Weight
+aggregation, optimiser steps and payload sizing operate on the vectors in
+single fused numpy operations; the dictionary API (:meth:`get_weights` /
+:meth:`set_weights`) remains available as a thin adapter over the views.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import DtypeLike, compute_dtype, resolve_dtype
 from repro.nn.layers import Layer
 from repro.nn.loss import CrossEntropyLoss, softmax
 from repro.nn.optim import Optimizer
@@ -88,6 +96,52 @@ class PhaseTrace:
         return scaled
 
 
+@dataclass(frozen=True)
+class FlatSlot:
+    """Location of one named parameter inside a section's flat vector."""
+
+    key: str
+    offset: int
+    size: int
+    shape: Tuple[int, ...]
+
+
+class _FlatSection:
+    """One contiguous parameter vector (plus gradient vector) per section."""
+
+    def __init__(self, name: str, layers: Sequence[Tuple[str, Layer]], dtype: np.dtype) -> None:
+        self.name = name
+        slots: List[FlatSlot] = []
+        offset = 0
+        for layer_name, layer in layers:
+            for param_name, value in layer.params.items():
+                key = f"{layer_name}.{param_name}"
+                slots.append(FlatSlot(key, offset, int(value.size), tuple(value.shape)))
+                offset += int(value.size)
+        self.slots: Tuple[FlatSlot, ...] = tuple(slots)
+        self.vector = np.empty(offset, dtype=dtype)
+        self.grads = np.zeros(offset, dtype=dtype)
+        self.views: Dict[str, np.ndarray] = {}
+        self.grad_views: Dict[str, np.ndarray] = {}
+        slot_iter = iter(self.slots)
+        for layer_name, layer in layers:
+            param_views: Dict[str, np.ndarray] = {}
+            grad_views: Dict[str, np.ndarray] = {}
+            for param_name in layer.params:
+                slot = next(slot_iter)
+                view = self.vector[slot.offset : slot.offset + slot.size].reshape(slot.shape)
+                gview = self.grads[slot.offset : slot.offset + slot.size].reshape(slot.shape)
+                param_views[param_name] = view
+                grad_views[param_name] = gview
+                self.views[slot.key] = view
+                self.grad_views[slot.key] = gview
+            layer.rebase_parameters(param_views, grad_views)
+
+    @property
+    def size(self) -> int:
+        return int(self.vector.size)
+
+
 class SplitCNN:
     """A CNN explicitly split into feature layers and classifier layers.
 
@@ -99,16 +153,32 @@ class SplitCNN:
         Fully connected part (phases ``fc``/``bc``).
     name:
         Human-readable architecture name used in reports.
+    dtype:
+        Compute dtype of the model's parameters and activations; defaults
+        to the dtype of the provided layers' parameters (which in turn
+        default to the global compute dtype).  Inputs are cast to this
+        dtype at the model boundary.
+
+    .. note::
+       Construction **takes ownership** of the given layers: their
+       parameters and gradients are rebased onto this model's contiguous
+       section buffers.  If the layers previously belonged to another
+       ``SplitCNN``, that model is detached (its flat vectors no longer
+       observe the layers) and must not be trained afterwards.
     """
 
     FEATURE_PREFIX = "features"
     CLASSIFIER_PREFIX = "classifier"
+
+    #: Section names in flat-vector concatenation order.
+    SECTIONS = (FEATURE_PREFIX, CLASSIFIER_PREFIX)
 
     def __init__(
         self,
         feature_layers: Sequence[Layer],
         classifier_layers: Sequence[Layer],
         name: str = "split-cnn",
+        dtype: Optional[DtypeLike] = None,
     ) -> None:
         if not classifier_layers:
             raise ValueError("SplitCNN requires at least one classifier layer")
@@ -118,6 +188,18 @@ class SplitCNN:
         self.loss_fn = CrossEntropyLoss()
         self.features_frozen = False
         self.classifier_frozen = False
+        if dtype is not None:
+            self.dtype = resolve_dtype(dtype)
+        else:
+            self.dtype = self._infer_dtype()
+        self._sections: Dict[str, _FlatSection] = {}
+        self._rebuild_flat_buffers()
+
+    def _infer_dtype(self) -> np.dtype:
+        for _, layer in self._named_layers():
+            for value in layer.params.values():
+                return value.dtype
+        return compute_dtype()
 
     # ------------------------------------------------------------ structure
     def _named_layers(self) -> Iterable[Tuple[str, Layer]]:
@@ -126,70 +208,166 @@ class SplitCNN:
         for idx, layer in enumerate(self.classifier_layers):
             yield f"{self.CLASSIFIER_PREFIX}.{idx}", layer
 
+    def _section_layers(self, section: str) -> List[Tuple[str, Layer]]:
+        layers = (
+            self.feature_layers if section == self.FEATURE_PREFIX else self.classifier_layers
+        )
+        return [(f"{section}.{idx}", layer) for idx, layer in enumerate(layers)]
+
+    def _rebuild_flat_buffers(self) -> None:
+        """(Re)allocate the per-section flat vectors and rebase all layers.
+
+        Called from ``__init__`` and after :meth:`clone_architecture`'s
+        deepcopy (which severs numpy view relationships).
+        """
+        self._sections = {
+            section: _FlatSection(section, self._section_layers(section), self.dtype)
+            for section in self.SECTIONS
+        }
+
     def num_parameters(self) -> int:
         """Total number of scalar trainable parameters."""
-        return sum(layer.num_parameters() for _, layer in self._named_layers())
+        return sum(section.size for section in self._sections.values())
 
     def num_feature_parameters(self) -> int:
         """Number of parameters in the feature (convolutional) section."""
-        return sum(layer.num_parameters() for layer in self.feature_layers)
+        return self._sections[self.FEATURE_PREFIX].size
 
     def num_classifier_parameters(self) -> int:
         """Number of parameters in the classifier (fully connected) section."""
-        return sum(layer.num_parameters() for layer in self.classifier_layers)
+        return self._sections[self.CLASSIFIER_PREFIX].size
+
+    # ------------------------------------------------------------ flat API
+    def _section(self, section: str) -> _FlatSection:
+        try:
+            return self._sections[section]
+        except KeyError:
+            raise KeyError(
+                f"unknown section {section!r}; valid sections: {list(self.SECTIONS)}"
+            ) from None
+
+    def flat_parameters(self, section: str) -> np.ndarray:
+        """The *live* contiguous parameter vector of a section (no copy).
+
+        In-place updates to this vector are immediately visible to every
+        layer, because layer parameters are views into it.
+        """
+        return self._section(section).vector
+
+    def flat_grads(self, section: str) -> np.ndarray:
+        """The *live* contiguous gradient vector of a section (no copy)."""
+        return self._section(section).grads
+
+    def flat_slots(self, section: str) -> Tuple[FlatSlot, ...]:
+        """Named (key, offset, size, shape) layout of a section's vector."""
+        return self._section(section).slots
+
+    def named_flat_views(self) -> Dict[str, np.ndarray]:
+        """Mapping ``"<section>.<layer>.<param>"`` -> live view into the flat buffers."""
+        views: Dict[str, np.ndarray] = {}
+        for section in self.SECTIONS:
+            views.update(self._sections[section].views)
+        return views
+
+    def get_flat_weights(self, section: Optional[str] = None) -> np.ndarray:
+        """Copy of the parameters as one contiguous vector.
+
+        ``section`` restricts the copy to ``"features"`` or ``"classifier"``;
+        when omitted the sections are concatenated in :attr:`SECTIONS` order.
+        """
+        if section is not None:
+            return self._section(section).vector.copy()
+        return np.concatenate([self._sections[s].vector for s in self.SECTIONS])
+
+    def set_flat_weights(self, values: np.ndarray, section: Optional[str] = None) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_flat_weights`."""
+        values = np.asarray(values)
+        if section is not None:
+            target = self._section(section).vector
+            if values.shape != target.shape:
+                raise ValueError(
+                    f"flat weights for section {section!r} must have shape {target.shape}, "
+                    f"got {values.shape}"
+                )
+            target[...] = values
+            return
+        total = self.num_parameters()
+        if values.shape != (total,):
+            raise ValueError(
+                f"flat weights for {self.name} must have shape ({total},), got {values.shape}"
+            )
+        offset = 0
+        for name in self.SECTIONS:
+            sec = self._sections[name]
+            sec.vector[...] = values[offset : offset + sec.size]
+            offset += sec.size
 
     # ------------------------------------------------------------ weights IO
     def get_weights(self) -> Dict[str, np.ndarray]:
         """Copy of all parameters keyed ``"<section>.<layer>.<param>"``."""
         weights: Dict[str, np.ndarray] = {}
-        for layer_name, layer in self._named_layers():
-            for param_name, value in layer.params.items():
-                weights[f"{layer_name}.{param_name}"] = np.array(value, copy=True)
+        for section in self.SECTIONS:
+            for key, view in self._sections[section].views.items():
+                weights[key] = np.array(view, copy=True)
         return weights
 
     def set_weights(self, weights: Dict[str, np.ndarray]) -> None:
         """Load parameters produced by :meth:`get_weights` (copied in place)."""
-        for layer_name, layer in self._named_layers():
-            for param_name, value in layer.params.items():
-                key = f"{layer_name}.{param_name}"
+        for section in self.SECTIONS:
+            for key, view in self._sections[section].views.items():
                 if key not in weights:
                     raise KeyError(f"missing weight {key!r} when loading into {self.name}")
                 incoming = weights[key]
-                if incoming.shape != value.shape:
+                if incoming.shape != view.shape:
                     raise ValueError(
-                        f"shape mismatch for {key!r}: model {value.shape}, incoming {incoming.shape}"
+                        f"shape mismatch for {key!r}: model {view.shape}, incoming {incoming.shape}"
                     )
-                value[...] = incoming
+                view[...] = incoming
 
     def get_feature_weights(self) -> Dict[str, np.ndarray]:
         """Weights of the feature section only (offloaded to strong clients)."""
         return {
-            key: value
-            for key, value in self.get_weights().items()
-            if key.startswith(self.FEATURE_PREFIX + ".")
+            key: np.array(view, copy=True)
+            for key, view in self._sections[self.FEATURE_PREFIX].views.items()
         }
 
     def get_classifier_weights(self) -> Dict[str, np.ndarray]:
         """Weights of the classifier section only (kept by the weak client)."""
         return {
-            key: value
-            for key, value in self.get_weights().items()
-            if key.startswith(self.CLASSIFIER_PREFIX + ".")
+            key: np.array(view, copy=True)
+            for key, view in self._sections[self.CLASSIFIER_PREFIX].views.items()
         }
 
     def set_partial_weights(self, weights: Dict[str, np.ndarray]) -> None:
-        """Load a subset of weights (e.g. only the feature section)."""
-        full = self.get_weights()
+        """Load a subset of weights (e.g. only the feature section) in place.
+
+        Only the provided keys are written; everything else is untouched.
+        All keys and shapes are validated *before* any write, so a bad
+        payload leaves the model unchanged.
+        """
+        views = self.named_flat_views()
         for key, value in weights.items():
-            if key not in full:
+            if key not in views:
                 raise KeyError(f"unknown weight {key!r} for model {self.name}")
-            full[key] = value
-        self.set_weights(full)
+            value = np.asarray(value)
+            if value.shape != views[key].shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: model {views[key].shape}, "
+                    f"incoming {value.shape}"
+                )
+        for key, value in weights.items():
+            views[key][...] = value
 
     # ------------------------------------------------------------- inference
+    def _cast_input(self, x: np.ndarray) -> np.ndarray:
+        """Cast a batch to the model's compute dtype (no-op when it matches)."""
+        if x.dtype == self.dtype:
+            return x
+        return x.astype(self.dtype)
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Full forward pass returning logits."""
-        h = x
+        h = self._cast_input(x)
         for layer in self.feature_layers:
             h = layer.forward(h, training)
         for layer in self.classifier_layers:
@@ -206,8 +384,9 @@ class SplitCNN:
 
     # -------------------------------------------------------------- training
     def zero_grad(self) -> None:
-        for _, layer in self._named_layers():
-            layer.zero_grad()
+        """Zero all gradients with one in-place fill per section vector."""
+        for section in self._sections.values():
+            section.grads.fill(0)
 
     def freeze_features(self) -> None:
         """Freeze the feature layers (skip ``bf`` and feature updates)."""
@@ -227,18 +406,28 @@ class SplitCNN:
         """Undo :meth:`freeze_classifier`."""
         self.classifier_frozen = False
 
+    def _trainable_sections(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Section name -> (parameter vector, gradient vector) for unfrozen sections."""
+        sections: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        if not self.features_frozen:
+            sec = self._sections[self.FEATURE_PREFIX]
+            sections[self.FEATURE_PREFIX] = (sec.vector, sec.grads)
+        if not self.classifier_frozen:
+            sec = self._sections[self.CLASSIFIER_PREFIX]
+            sections[self.CLASSIFIER_PREFIX] = (sec.vector, sec.grads)
+        return sections
+
     def _trainable_params(self) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """Per-key dict view of the unfrozen parameters (legacy adapter)."""
         params: Dict[str, np.ndarray] = {}
         grads: Dict[str, np.ndarray] = {}
-        for layer_name, layer in self._named_layers():
-            if self.features_frozen and layer_name.startswith(self.FEATURE_PREFIX + "."):
+        for name, section in self._sections.items():
+            if self.features_frozen and name == self.FEATURE_PREFIX:
                 continue
-            if self.classifier_frozen and layer_name.startswith(self.CLASSIFIER_PREFIX + "."):
+            if self.classifier_frozen and name == self.CLASSIFIER_PREFIX:
                 continue
-            for param_name, value in layer.params.items():
-                key = f"{layer_name}.{param_name}"
-                params[key] = value
-                grads[key] = layer.grads[param_name]
+            params.update(section.views)
+            grads.update(section.grad_views)
         return params, grads
 
     def train_batch(
@@ -260,7 +449,9 @@ class SplitCNN:
             Input batch and integer labels.
         optimizer:
             Optimiser applied to the (unfrozen) parameters; when ``None``
-            gradients are computed but no update is applied.
+            gradients are computed but no update is applied.  The update is
+            one fused vector operation per unfrozen section
+            (:meth:`repro.nn.optim.Optimizer.step_flat`).
 
         Returns
         -------
@@ -273,7 +464,7 @@ class SplitCNN:
         trace = PhaseTrace()
 
         # Phase ff: forward through the feature layers.
-        h = x
+        h = self._cast_input(x)
         for layer in self.feature_layers:
             h = layer.forward(h, training=True)
             trace.add(Phase.FORWARD_FEATURES, layer.last_forward_flops)
@@ -298,8 +489,7 @@ class SplitCNN:
                 trace.add(Phase.BACKWARD_FEATURES, layer.last_backward_flops)
 
         if optimizer is not None:
-            params, grads = self._trainable_params()
-            optimizer.step(params, grads)
+            optimizer.step_flat(self._trainable_sections())
 
         return loss, trace
 
@@ -324,20 +514,24 @@ class SplitCNN:
 
     def phase_trace_for_batch(self, x: np.ndarray, y: np.ndarray) -> PhaseTrace:
         """Measure per-phase FLOPs of one batch without updating weights."""
-        weights = self.get_weights()
+        snapshot = self.get_flat_weights()
         _, trace = self.train_batch(x, y, optimizer=None)
-        self.set_weights(weights)
+        self.set_flat_weights(snapshot)
         return trace
 
     def clone_architecture(self) -> "SplitCNN":
-        """Create a structurally identical model with freshly initialised weights.
+        """Create a structurally identical model sharing no arrays with the original.
 
-        The clone shares no arrays with the original; callers typically
-        follow up with :meth:`set_weights` to copy the state.
+        Callers typically follow up with :meth:`set_weights` (or
+        :meth:`set_flat_weights`) to copy the state.
         """
         import copy
 
         clone = copy.deepcopy(self)
+        # deepcopy severs numpy view relationships (each view becomes an
+        # independent array), so rebuild the flat buffers around the copied
+        # parameter values.
+        clone._rebuild_flat_buffers()
         clone.unfreeze_features()
         clone.unfreeze_classifier()
         return clone

@@ -1,0 +1,389 @@
+"""Reference implementation of the original (seed) compute engine.
+
+This module preserves the pre-optimisation engine **verbatim in behaviour**:
+float64 everywhere, fresh allocations on every call, 6-D boolean pooling
+masks with an explicit tie-break matrix, per-key Python loops in the
+optimiser step and in weight aggregation.  It exists for two purposes:
+
+* **parity testing** — ``tests/test_engine_parity.py`` builds models from
+  these layers and asserts that the optimised engine reproduces them
+  bit-for-bit in ``float64`` mode, both per-operation and across whole
+  experiment suites;
+* **benchmarking** — ``benchmarks/bench_engine.py`` measures the optimised
+  hot path against this engine to report honest before/after speedups.
+
+The classes subclass the production :class:`repro.nn.layers.Layer`, so a
+:class:`repro.nn.model.SplitCNN` can be assembled from them and run through
+the full experiment harness unchanged.  Do not use this engine for real
+experiments; it is intentionally slow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, zeros
+from repro.nn.layers import Flatten, Layer, ReLU
+from repro.nn.model import SplitCNN
+
+Weights = Dict[str, np.ndarray]
+
+
+# ---------------------------------------------------------------------------
+# Seed im2col helpers (fresh allocations on every call)
+# ---------------------------------------------------------------------------
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n, out_h, out_w, c * kh * kw)
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+
+    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            x_padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if pad > 0:
+        return x_padded[:, :, pad:-pad, pad:-pad]
+    return x_padded
+
+
+# ---------------------------------------------------------------------------
+# Seed layers
+# ---------------------------------------------------------------------------
+class ReferenceConv2D(Layer):
+    """Seed Conv2D: im2col with fresh buffers on every forward/backward."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self._params["W"] = he_normal(
+            (out_channels, in_channels, kernel_size, kernel_size),
+            fan_in,
+            rng,
+            dtype=np.float64,
+        )
+        self._params["b"] = zeros((out_channels,), dtype=np.float64)
+        self.zero_grad()
+        self._cache_cols: Optional[np.ndarray] = None
+        self._cache_x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return (self.out_channels, (h + 2 * p - k) // s + 1, (w + 2 * p - k) // s + 1)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n = x.shape[0]
+        k = self.kernel_size
+        cols = _im2col(x, k, k, self.stride, self.padding)
+        out_h, out_w = cols.shape[1], cols.shape[2]
+        w_mat = self._params["W"].reshape(self.out_channels, -1)
+        out = cols.reshape(n * out_h * out_w, -1) @ w_mat.T + self._params["b"]
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._cache_cols = cols
+            self._cache_x_shape = x.shape
+        macs = n * out_h * out_w * self.out_channels * self.in_channels * k * k
+        self.last_forward_flops = 2 * macs
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_cols is None or self._cache_x_shape is None:
+            raise RuntimeError("ReferenceConv2D.backward called before forward(training=True)")
+        n, _, out_h, out_w = grad_out.shape
+        k = self.kernel_size
+        cols = self._cache_cols
+        w_mat = self._params["W"].reshape(self.out_channels, -1)
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        cols_flat = cols.reshape(n * out_h * out_w, -1)
+        grad_w = grad_flat.T @ cols_flat
+        self._grads["W"] += grad_w.reshape(self._params["W"].shape)
+        self._grads["b"] += grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ w_mat
+        grad_x = _col2im(
+            grad_cols.reshape(n, out_h, out_w, -1),
+            self._cache_x_shape,
+            k,
+            k,
+            self.stride,
+            self.padding,
+        )
+        macs = n * out_h * out_w * self.out_channels * self.in_channels * k * k
+        self.last_backward_flops = 4 * macs
+        return grad_x
+
+
+class ReferenceMaxPool2D(Layer):
+    """Seed MaxPool2D: 6-D boolean mask plus per-window tie-break matrix."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        self.pool_size = pool_size
+        self._cache_mask: Optional[np.ndarray] = None
+        self._cache_shape: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        if h % self.pool_size or w % self.pool_size:
+            raise ValueError(
+                f"MaxPool2D requires spatial dims divisible by {self.pool_size}, got {input_shape}"
+            )
+        return (c, h // self.pool_size, w // self.pool_size)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        p = self.pool_size
+        if h % p or w % p:
+            raise ValueError(f"MaxPool2D input spatial dims {h}x{w} not divisible by {p}")
+        reshaped = x.reshape(n, c, h // p, p, w // p, p)
+        out = reshaped.max(axis=(3, 5))
+        if training:
+            expanded = out[:, :, :, None, :, None]
+            mask = reshaped == expanded
+            flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(-1, p * p)
+            first = np.argmax(flat, axis=1)
+            single = np.zeros_like(flat)
+            single[np.arange(flat.shape[0]), first] = True
+            self._cache_mask = single.reshape(n, c, h // p, w // p, p, p).transpose(
+                0, 1, 2, 4, 3, 5
+            )
+            self._cache_shape = x.shape
+        self.last_forward_flops = x.size
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_mask is None or self._cache_shape is None:
+            raise RuntimeError("ReferenceMaxPool2D.backward called before forward(training=True)")
+        n, c, h, w = self._cache_shape
+        p = self.pool_size
+        grad = np.zeros((n, c, h // p, p, w // p, p), dtype=grad_out.dtype)
+        grad += grad_out[:, :, :, None, :, None]
+        grad *= self._cache_mask
+        self.last_backward_flops = grad.size
+        return grad.reshape(n, c, h, w)
+
+
+class ReferenceDense(Layer):
+    """Seed Dense layer (float64 parameters, `x @ W + b` with a fresh add)."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self._params["W"] = he_normal((in_features, out_features), in_features, rng, dtype=np.float64)
+        self._params["b"] = zeros((out_features,), dtype=np.float64)
+        self.zero_grad()
+        self._cache_x: Optional[np.ndarray] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.out_features,)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._cache_x = x
+        self.last_forward_flops = 2 * x.shape[0] * self.in_features * self.out_features
+        return x @ self._params["W"] + self._params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError("ReferenceDense.backward called before forward(training=True)")
+        x = self._cache_x
+        self._grads["W"] += x.T @ grad_out
+        self._grads["b"] += grad_out.sum(axis=0)
+        self.last_backward_flops = 4 * x.shape[0] * self.in_features * self.out_features
+        return grad_out @ self._params["W"].T
+
+
+# ---------------------------------------------------------------------------
+# Seed optimiser step and aggregation (per-key Python loops)
+# ---------------------------------------------------------------------------
+class ReferenceSGD:
+    """Seed SGD: per-key loop allocating fresh intermediates on every step.
+
+    Pass ``model`` to make :meth:`step_flat` iterate the model's individual
+    parameter keys (the seed behaviour) instead of the section vectors, so
+    benchmarks time the historical per-key update loop.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        model: Optional[SplitCNN] = None,
+    ) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.model = model
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        for key, param in params.items():
+            grad = grads[key]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            if self.momentum:
+                velocity = self._velocity.get(key)
+                if velocity is None:
+                    velocity = np.zeros_like(param)
+                velocity = self.momentum * velocity + grad
+                self._velocity[key] = velocity
+                update = velocity
+            else:
+                update = grad
+            param -= self.lr * update
+
+    def step_flat(self, sections) -> None:
+        """Adapter so a ``SplitCNN.train_batch`` can drive this optimiser."""
+        if self.model is not None:
+            params, grads = self.model._trainable_params()
+            self.step(params, grads)
+            return
+        self.step(
+            {name: vectors[0] for name, vectors in sections.items()},
+            {name: vectors[1] for name, vectors in sections.items()},
+        )
+
+    def reset_state(self) -> None:
+        self._velocity.clear()
+
+
+def reference_weighted_average(
+    weight_sets: Sequence[Weights], coefficients: Sequence[float]
+) -> Weights:
+    """Seed FedAvg reduction: per-key loop with a fresh scaled copy per client."""
+    total = float(sum(coefficients))
+    averaged: Weights = {}
+    for key in weight_sets[0]:
+        accumulator = np.zeros_like(weight_sets[0][key])
+        for weights, coefficient in zip(weight_sets, coefficients):
+            accumulator += (coefficient / total) * weights[key]
+        averaged[key] = accumulator
+    return averaged
+
+
+def reference_fedavg_aggregate(updates: Sequence[Tuple[Weights, int]]) -> Weights:
+    sizes = [float(max(num_samples, 0)) for _, num_samples in updates]
+    if sum(sizes) <= 0:
+        sizes = [1.0] * len(updates)
+    return reference_weighted_average([weights for weights, _ in updates], sizes)
+
+
+def reference_fednova_aggregate(
+    global_weights: Weights, updates: Sequence[Tuple[Weights, int, int]]
+) -> Weights:
+    sizes = np.array([float(max(num_samples, 0)) for _, num_samples, _ in updates])
+    if sizes.sum() <= 0:
+        sizes = np.ones(len(updates))
+    p = sizes / sizes.sum()
+    taus = np.array([float(max(num_steps, 1)) for _, _, num_steps in updates])
+    tau_eff = float(np.sum(p * taus))
+    new_weights: Weights = {}
+    for key, global_value in global_weights.items():
+        direction = np.zeros_like(global_value)
+        for (weights, _, _), p_k, tau_k in zip(updates, p, taus):
+            direction += p_k * (global_value - weights[key]) / tau_k
+        new_weights[key] = global_value - tau_eff * direction
+    return new_weights
+
+
+# ---------------------------------------------------------------------------
+# Seed architectures (mirrors repro.nn.architectures for the parity suite)
+# ---------------------------------------------------------------------------
+def reference_mnist_cnn(rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """The seed three-layer MNIST CNN, built from reference layers."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    features: List[Layer] = [
+        ReferenceConv2D(1, 8, 5, padding=2, rng=rng),
+        ReLU(),
+        ReferenceMaxPool2D(2),
+        ReferenceConv2D(8, 16, 5, padding=2, rng=rng),
+        ReLU(),
+        ReferenceMaxPool2D(2),
+    ]
+    classifier: List[Layer] = [
+        Flatten(),
+        ReferenceDense(16 * 7 * 7, 10, rng=rng),
+    ]
+    return SplitCNN(features, classifier, name="mnist-cnn", dtype=np.float64)
+
+
+def reference_cifar10_cnn(rng: Optional[np.random.Generator] = None) -> SplitCNN:
+    """The seed eight-layer Cifar-10 CNN, built from reference layers."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    features: List[Layer] = [
+        ReferenceConv2D(3, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        ReferenceConv2D(16, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        ReferenceMaxPool2D(2),
+        ReferenceConv2D(16, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        ReferenceConv2D(32, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        ReferenceMaxPool2D(2),
+        ReferenceConv2D(32, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        ReferenceConv2D(32, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        ReferenceMaxPool2D(2),
+    ]
+    classifier: List[Layer] = [
+        Flatten(),
+        ReferenceDense(32 * 4 * 4, 64, rng=rng),
+        ReLU(),
+        ReferenceDense(64, 10, rng=rng),
+    ]
+    return SplitCNN(features, classifier, name="cifar10-cnn", dtype=np.float64)
+
+
+REFERENCE_ARCHITECTURES = {
+    "mnist-cnn": reference_mnist_cnn,
+    "fmnist-cnn": reference_mnist_cnn,
+    "cifar10-cnn": reference_cifar10_cnn,
+}

@@ -71,6 +71,26 @@ class Message:
     delivered_at: float = field(default=0.0, compare=False)
 
 
+#: Canonical on-the-wire width of one model parameter.  Model payloads are
+#: charged at this width regardless of the engine's in-memory compute dtype
+#: (float32 by default, see :mod:`repro.nn.dtype`), so simulated
+#: communication times are identical across dtypes and match the original
+#: float64 engine bit-for-bit.
+WIRE_BYTES_PER_PARAM = 8
+
+
+def wire_bytes(num_parameters: int) -> float:
+    """Bytes charged to the network for shipping ``num_parameters`` weights."""
+    return float(num_parameters * WIRE_BYTES_PER_PARAM)
+
+
+def weights_wire_bytes(weights: Any) -> float:
+    """Wire size of a model payload: a weight dict or a flat parameter vector."""
+    if isinstance(weights, np.ndarray):
+        return wire_bytes(int(weights.size))
+    return wire_bytes(int(sum(np.asarray(value).size for value in weights.values())))
+
+
 def payload_size_bytes(payload: Any) -> float:
     """Best-effort estimate of a payload's size in bytes.
 

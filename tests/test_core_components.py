@@ -148,6 +148,23 @@ class TestFreezing:
         with pytest.raises(ValueError):
             recombine_offloaded_model(weak, {})
 
+    def test_recombination_ignores_strong_client_classifier_keys(self):
+        """Strong-client classifier keys are dropped in favour of the weak's."""
+        weak = self._weights()
+        strong_model = build_model("mnist-cnn", rng=np.random.default_rng(9))
+        strong_full = strong_model.get_weights()  # includes classifier keys
+        combined = recombine_offloaded_model(weak, strong_full)
+        strong_features, strong_classifier = split_weights(strong_full)
+        _, weak_classifier = split_weights(weak)
+        assert set(combined) == set(weak)
+        for key, value in strong_features.items():
+            assert np.allclose(combined[key], value)
+        for key, value in weak_classifier.items():
+            # The weak client's classifier wins over the strong client's.
+            assert np.allclose(combined[key], value)
+            if not np.allclose(value, strong_classifier[key]):  # skip zero-init biases
+                assert not np.allclose(combined[key], strong_classifier[key])
+
     def test_frozen_package_validation(self):
         weights = self._weights()
         package = FrozenModelPackage(1, 3, weights, batches_to_train=5)
@@ -156,6 +173,32 @@ class TestFreezing:
             FrozenModelPackage(1, 3, weights, batches_to_train=-1)
         with pytest.raises(ValueError):
             FrozenModelPackage(1, 3, {}, batches_to_train=1)
+
+    def test_frozen_package_flat_snapshot_roundtrip(self):
+        """from_model packages the flat vector; load_into restores it exactly."""
+        model = build_model("mnist-cnn", rng=np.random.default_rng(0))
+        package = FrozenModelPackage.from_model(
+            model, source_client_id=1, round_number=3, batches_to_train=5
+        )
+        assert package.flat_weights is not None
+        assert package.num_parameters() == model.num_parameters()
+        other = build_model("mnist-cnn", rng=np.random.default_rng(42))
+        package.load_into(other)
+        assert np.array_equal(other.get_flat_weights(), model.get_flat_weights())
+
+    def test_payload_bytes_independent_of_compute_dtype(self):
+        """Wire size is charged at the canonical width in both dtypes."""
+        from repro.nn.dtype import using_dtype
+        from repro.simulation.network import WIRE_BYTES_PER_PARAM
+
+        sizes = {}
+        for dtype in ("float32", "float64"):
+            with using_dtype(dtype):
+                model = build_model("mnist-cnn", rng=np.random.default_rng(0))
+            package = FrozenModelPackage.from_model(model, 1, 3, batches_to_train=2)
+            sizes[dtype] = package.payload_bytes()
+        assert sizes["float32"] == sizes["float64"]
+        assert sizes["float64"] == model.num_parameters() * WIRE_BYTES_PER_PARAM
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,194 @@
+"""Old-vs-new engine parity: the optimised float64 path must be bit-identical.
+
+The optimised engine (scratch reuse, flat-index pooling, fused optimiser
+steps, stacked-vector aggregation) claims to preserve the exact
+floating-point operation order of the seed implementation when running in
+``float64``.  These tests hold it to that claim at three levels:
+
+1. per-layer forward/backward against :mod:`repro.nn.reference`,
+2. multi-step training and the fused optimiser/aggregation kernels,
+3. whole serial experiment suites: per-label summaries produced with the
+   reference layers must equal the ones produced with the optimised layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import fedavg_aggregate, fednova_aggregate
+from repro.nn import architectures
+from repro.nn.architectures import ArchitectureSpec
+from repro.nn.layers import Conv2D, Dense, MaxPool2D
+from repro.nn.model import SplitCNN
+from repro.nn.optim import SGD, ProximalSGD
+from repro.nn.reference import (
+    REFERENCE_ARCHITECTURES,
+    ReferenceConv2D,
+    ReferenceDense,
+    ReferenceMaxPool2D,
+    ReferenceSGD,
+    reference_fedavg_aggregate,
+    reference_fednova_aggregate,
+    reference_mnist_cnn,
+)
+
+
+def _random_weight_sets(num_clients: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    shapes = {"features.0.W": (8, 1, 5, 5), "features.0.b": (8,), "classifier.1.W": (784, 10)}
+    return [
+        {key: rng.normal(size=shape) for key, shape in shapes.items()}
+        for _ in range(num_clients)
+    ]
+
+
+class TestLayerParity:
+    def _pair(self, new_layer, ref_layer, x, upstream):
+        for key, value in new_layer.params.items():
+            value[...] = ref_layer.params[key]
+        out_new = new_layer.forward(x, training=True)
+        out_ref = ref_layer.forward(x, training=True)
+        assert np.array_equal(out_new, out_ref)
+        new_layer.zero_grad()
+        ref_layer.zero_grad()
+        new_layer.forward(x, training=True)
+        ref_layer.forward(x, training=True)
+        gx_new = new_layer.backward(upstream)
+        gx_ref = ref_layer.backward(upstream)
+        assert np.array_equal(gx_new, gx_ref)
+        for key in new_layer.grads:
+            assert np.array_equal(new_layer.grads[key], ref_layer.grads[key])
+
+    def test_conv2d_padded(self):
+        rng = np.random.default_rng(3)
+        new = Conv2D(2, 4, 5, padding=2, rng=np.random.default_rng(1), dtype=np.float64)
+        ref = ReferenceConv2D(2, 4, 5, padding=2, rng=np.random.default_rng(1))
+        x = rng.normal(size=(3, 2, 8, 8))
+        self._pair(new, ref, x, rng.normal(size=(3, 4, 8, 8)))
+
+    def test_conv2d_strided(self):
+        rng = np.random.default_rng(4)
+        new = Conv2D(1, 2, 3, stride=2, rng=np.random.default_rng(1), dtype=np.float64)
+        ref = ReferenceConv2D(1, 2, 3, stride=2, rng=np.random.default_rng(1))
+        x = rng.normal(size=(2, 1, 9, 9))
+        self._pair(new, ref, x, rng.normal(size=(2, 2, 4, 4)))
+
+    def test_maxpool_with_ties(self):
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 3, size=(2, 3, 8, 8)).astype(np.float64)  # many ties
+        upstream = rng.normal(size=(2, 3, 4, 4))
+        new, ref = MaxPool2D(2), ReferenceMaxPool2D(2)
+        assert np.array_equal(new.forward(x, training=True), ref.forward(x, training=True))
+        assert np.array_equal(new.backward(upstream), ref.backward(upstream))
+
+    def test_dense(self):
+        rng = np.random.default_rng(6)
+        new = Dense(12, 5, rng=np.random.default_rng(1), dtype=np.float64)
+        ref = ReferenceDense(12, 5, rng=np.random.default_rng(1))
+        x = rng.normal(size=(4, 12))
+        self._pair(new, ref, x, rng.normal(size=(4, 5)))
+
+
+class TestOptimizerParity:
+    @pytest.mark.parametrize("momentum,weight_decay", [(0.0, 0.0), (0.9, 0.0), (0.9, 1e-3)])
+    def test_fused_sgd_matches_seed_loop(self, momentum, weight_decay):
+        rng = np.random.default_rng(7)
+        params_a = {k: rng.normal(size=(17,)) for k in ("a", "b", "c")}
+        params_b = {k: v.copy() for k, v in params_a.items()}
+        fused = SGD(lr=0.05, momentum=momentum, weight_decay=weight_decay)
+        seed = ReferenceSGD(lr=0.05, momentum=momentum, weight_decay=weight_decay)
+        for _ in range(5):
+            grads = {k: rng.normal(size=(17,)) for k in params_a}
+            fused.step(params_a, grads)
+            seed.step(params_b, grads)
+        for key in params_a:
+            assert np.array_equal(params_a[key], params_b[key])
+
+    def test_fused_proximal_sgd_matches_seed_formula(self):
+        rng = np.random.default_rng(8)
+        anchor = {"w": rng.normal(size=(9,))}
+        params = {"w": rng.normal(size=(9,))}
+        expected = params["w"].copy()
+        grads = {"w": rng.normal(size=(9,))}
+        prox = ProximalSGD(lr=0.1, mu=0.5)
+        prox.set_anchor(anchor)
+        prox.step(params, grads)
+        # Seed formula: w -= lr * (g + mu * (w - anchor)).
+        expected -= 0.1 * (grads["w"] + 0.5 * (expected - anchor["w"]))
+        assert np.array_equal(params["w"], expected)
+
+
+class TestAggregationParity:
+    def test_fedavg_matches_seed_loop(self):
+        weight_sets = _random_weight_sets(16, seed=11)
+        updates = [(weights, 10 * (i + 1)) for i, weights in enumerate(weight_sets)]
+        new = fedavg_aggregate(updates)
+        ref = reference_fedavg_aggregate(updates)
+        assert set(new) == set(ref)
+        for key in new:
+            assert np.array_equal(new[key], ref[key])
+
+    def test_fednova_matches_seed_loop(self):
+        weight_sets = _random_weight_sets(16, seed=12)
+        global_weights = _random_weight_sets(1, seed=13)[0]
+        updates = [
+            (weights, 10 * (i + 1), 1 + (i % 5)) for i, weights in enumerate(weight_sets)
+        ]
+        new = fednova_aggregate(global_weights, updates)
+        ref = reference_fednova_aggregate(global_weights, updates)
+        for key in new:
+            assert np.array_equal(new[key], ref[key])
+
+
+class TestModelParity:
+    def test_training_trajectory_bitwise_identical(self):
+        """Several momentum+weight-decay steps on the full mnist-cnn stack."""
+        new_model = architectures.mnist_cnn(rng=np.random.default_rng(2))
+        ref_model = reference_mnist_cnn(rng=np.random.default_rng(9))
+        new64 = SplitCNN(
+            new_model.feature_layers, new_model.classifier_layers, "mnist-cnn", dtype=np.float64
+        )
+        new64.set_flat_weights(ref_model.get_flat_weights())
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(16, 1, 28, 28))
+        y = rng.integers(0, 10, size=16)
+        opt_new = SGD(lr=0.05, momentum=0.9, weight_decay=1e-4)
+        opt_ref = ReferenceSGD(lr=0.05, momentum=0.9, weight_decay=1e-4, model=ref_model)
+        for step in range(4):
+            loss_new, trace_new = new64.train_batch(x, y, opt_new)
+            loss_ref, trace_ref = ref_model.train_batch(x, y, opt_ref)
+            assert loss_new == loss_ref
+            assert trace_new.flops == trace_ref.flops
+        assert np.array_equal(new64.get_flat_weights(), ref_model.get_flat_weights())
+
+
+class TestSuiteParity:
+    def _suite_summaries(self):
+        from repro.experiments.runner import run_configs
+        from repro.experiments.workloads import SCALES, evaluation_config
+
+        cells = {
+            f"mnist/{algorithm}": evaluation_config(
+                "mnist", algorithm, "noniid", SCALES["smoke"], seed=42, dtype="float64"
+            )
+            for algorithm in ("fedavg", "fedprox")
+        }
+        suite = run_configs(cells)
+        return {label: suite.results[label].summary() for label in cells}
+
+    def test_serial_suite_summaries_match_reference_engine(self):
+        """Per-label summaries: reference layers vs optimised layers (float64)."""
+        spec = architectures.ARCHITECTURES["mnist-cnn"]
+        architectures.ARCHITECTURES["mnist-cnn"] = ArchitectureSpec(
+            spec.name,
+            spec.input_shape,
+            spec.num_classes,
+            REFERENCE_ARCHITECTURES["mnist-cnn"],
+        )
+        try:
+            reference_summaries = self._suite_summaries()
+        finally:
+            architectures.ARCHITECTURES["mnist-cnn"] = spec
+        optimised_summaries = self._suite_summaries()
+        assert reference_summaries == optimised_summaries

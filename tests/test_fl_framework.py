@@ -89,6 +89,9 @@ class TestAggregation:
         with pytest.raises(ValueError):
             weighted_average([_weights(1.0), {"a": np.zeros((2, 2))}], [1.0, 1.0])
 
+    def test_weighted_average_of_empty_dicts_is_empty(self):
+        assert weighted_average([{}, {}], [1.0, 1.0]) == {}
+
     def test_fedavg_weighting_by_samples(self):
         result = fedavg_aggregate([(_weights(0.0), 100), (_weights(10.0), 300)])
         assert np.allclose(result["a"], 7.5)

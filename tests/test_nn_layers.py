@@ -1,4 +1,12 @@
-"""Unit tests for the numpy layers: shapes, gradients and FLOP accounting."""
+"""Unit tests for the numpy layers: shapes, gradients and FLOP accounting.
+
+Gradient checks run in **both** supported compute dtypes.  ``float64``
+checks use the tight tolerances of the original engine; ``float32`` checks
+use a larger perturbation and looser tolerances because the function value
+itself carries ~1e-7 relative rounding noise.  The scalar objective is
+always accumulated in ``float64`` so the central differences measure the
+layer's arithmetic, not the summation's.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +15,18 @@ import pytest
 
 from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, ResidualBlock
 
+#: Per-dtype (eps, atol, rtol) for central-difference checks.
+GRADCHECK_SETTINGS = {
+    np.float64: (1e-5, 1e-5, 1e-3),
+    np.float32: (1e-2, 5e-3, 5e-2),
+}
+
+DTYPES = sorted(GRADCHECK_SETTINGS, key=lambda d: np.dtype(d).name)
+
 
 def numerical_gradient(f, x, eps=1e-5):
     """Central-difference gradient of a scalar function of an array."""
-    grad = np.zeros_like(x)
+    grad = np.zeros(x.shape, dtype=np.float64)
     it = np.nditer(x, flags=["multi_index"])
     while not it.finished:
         idx = it.multi_index
@@ -25,23 +41,31 @@ def numerical_gradient(f, x, eps=1e-5):
     return grad
 
 
-def check_input_gradient(layer, x, tol=1e-5):
+def check_input_gradient(layer, x, dtype=np.float64, tol=None):
     """Verify the layer's input gradient against numerical differentiation."""
+    eps, atol, rtol = GRADCHECK_SETTINGS[dtype]
+    if tol is not None:
+        atol = tol
+    x = np.ascontiguousarray(x, dtype=dtype)
     out = layer.forward(x, training=True)
-    upstream = np.random.default_rng(0).normal(size=out.shape)
+    upstream = np.random.default_rng(0).normal(size=out.shape).astype(dtype)
 
     def scalar():
-        return float(np.sum(layer.forward(x, training=False) * upstream))
+        return float(np.sum(layer.forward(x, training=False) * upstream, dtype=np.float64))
 
     analytic = layer.backward(upstream)
-    numeric = numerical_gradient(scalar, x)
-    assert np.allclose(analytic, numeric, atol=tol, rtol=1e-3)
+    numeric = numerical_gradient(scalar, x, eps=eps)
+    assert np.allclose(analytic, numeric, atol=atol, rtol=rtol)
 
 
-def check_param_gradient(layer, x, param_key, tol=1e-5):
+def check_param_gradient(layer, x, param_key, dtype=np.float64, tol=None):
     """Verify a parameter gradient against numerical differentiation."""
+    eps, atol, rtol = GRADCHECK_SETTINGS[dtype]
+    if tol is not None:
+        atol = tol
+    x = np.ascontiguousarray(x, dtype=dtype)
     out = layer.forward(x, training=True)
-    upstream = np.random.default_rng(1).normal(size=out.shape)
+    upstream = np.random.default_rng(1).normal(size=out.shape).astype(dtype)
     layer.zero_grad()
     layer.forward(x, training=True)
     layer.backward(upstream)
@@ -50,10 +74,67 @@ def check_param_gradient(layer, x, param_key, tol=1e-5):
     param = layer.params[param_key]
 
     def scalar():
-        return float(np.sum(layer.forward(x, training=False) * upstream))
+        return float(np.sum(layer.forward(x, training=False) * upstream, dtype=np.float64))
 
-    numeric = numerical_gradient(scalar, param)
-    assert np.allclose(analytic, numeric, atol=tol, rtol=1e-3)
+    numeric = numerical_gradient(scalar, param, eps=eps)
+    assert np.allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+# ---------------------------------------------------------------------------
+# Gradient checks for every layer type, in float32 and float64
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+class TestGradientChecksBothDtypes:
+    def test_dense_input_weight_bias(self, rng, dtype):
+        layer = Dense(5, 3, rng=rng, dtype=dtype)
+        x = rng.normal(size=(2, 5))
+        check_input_gradient(layer, x, dtype=dtype)
+        check_param_gradient(layer, x, "W", dtype=dtype)
+        check_param_gradient(layer, x, "b", dtype=dtype)
+
+    def test_conv2d_input_weight_bias(self, rng, dtype):
+        layer = Conv2D(2, 3, 3, padding=1, rng=rng, dtype=dtype)
+        x = rng.normal(size=(2, 2, 5, 5))
+        check_input_gradient(layer, x, dtype=dtype)
+        check_param_gradient(layer, x, "W", dtype=dtype)
+        check_param_gradient(layer, x, "b", dtype=dtype)
+
+    def test_conv2d_strided(self, rng, dtype):
+        layer = Conv2D(1, 2, 3, stride=2, rng=rng, dtype=dtype)
+        x = rng.normal(size=(2, 1, 7, 7))
+        check_input_gradient(layer, x, dtype=dtype)
+        check_param_gradient(layer, x, "W", dtype=dtype)
+
+    def test_maxpool_input(self, rng, dtype):
+        layer = MaxPool2D(2)
+        # Well-separated values so the max is stable under the perturbation.
+        x = rng.permutation(np.arange(32, dtype=np.float64)).reshape(1, 2, 4, 4)
+        check_input_gradient(layer, x, dtype=dtype)
+
+    def test_relu_input(self, rng, dtype):
+        layer = ReLU()
+        # Keep values away from the kink at zero.
+        x = rng.normal(size=(3, 6))
+        x = np.where(np.abs(x) < 0.2, x + 0.5, x)
+        check_input_gradient(layer, x, dtype=dtype)
+
+    def test_flatten_input(self, rng, dtype):
+        layer = Flatten()
+        check_input_gradient(layer, rng.normal(size=(2, 2, 3, 3)), dtype=dtype)
+
+    def test_residual_block_input_and_params(self, rng, dtype):
+        block = ResidualBlock(2, 3, rng=rng, dtype=dtype)  # projected skip
+        x = rng.normal(size=(1, 2, 4, 4))
+        check_input_gradient(block, x, dtype=dtype)
+        check_param_gradient(block, x, "conv1.W", dtype=dtype)
+        check_param_gradient(block, x, "conv2.b", dtype=dtype)
+        check_param_gradient(block, x, "proj.W", dtype=dtype)
+
+    def test_residual_block_identity_skip(self, rng, dtype):
+        block = ResidualBlock(2, 2, rng=rng, dtype=dtype)
+        x = rng.normal(size=(1, 2, 4, 4))
+        check_input_gradient(block, x, dtype=dtype)
+        check_param_gradient(block, x, "conv2.W", dtype=dtype)
 
 
 class TestDense:
@@ -67,15 +148,15 @@ class TestDense:
         assert layer.output_shape((6,)) == (4,)
 
     def test_input_gradient(self, rng):
-        layer = Dense(5, 3, rng=rng)
+        layer = Dense(5, 3, rng=rng, dtype=np.float64)
         check_input_gradient(layer, rng.normal(size=(2, 5)))
 
     def test_weight_gradient(self, rng):
-        layer = Dense(5, 3, rng=rng)
+        layer = Dense(5, 3, rng=rng, dtype=np.float64)
         check_param_gradient(layer, rng.normal(size=(2, 5)), "W")
 
     def test_bias_gradient(self, rng):
-        layer = Dense(5, 3, rng=rng)
+        layer = Dense(5, 3, rng=rng, dtype=np.float64)
         check_param_gradient(layer, rng.normal(size=(2, 5)), "b")
 
     def test_backward_before_forward_raises(self, rng):
@@ -111,19 +192,19 @@ class TestConv2D:
         assert layer.output_shape((2, 8, 8)) == (4, 8, 8)
 
     def test_input_gradient(self, rng):
-        layer = Conv2D(2, 3, 3, padding=1, rng=rng)
+        layer = Conv2D(2, 3, 3, padding=1, rng=rng, dtype=np.float64)
         check_input_gradient(layer, rng.normal(size=(2, 2, 5, 5)))
 
     def test_weight_gradient(self, rng):
-        layer = Conv2D(1, 2, 3, rng=rng)
+        layer = Conv2D(1, 2, 3, rng=rng, dtype=np.float64)
         check_param_gradient(layer, rng.normal(size=(2, 1, 5, 5)), "W")
 
     def test_bias_gradient(self, rng):
-        layer = Conv2D(1, 2, 3, rng=rng)
+        layer = Conv2D(1, 2, 3, rng=rng, dtype=np.float64)
         check_param_gradient(layer, rng.normal(size=(2, 1, 5, 5)), "b")
 
     def test_matches_manual_convolution(self, rng):
-        layer = Conv2D(1, 1, 2, rng=rng)
+        layer = Conv2D(1, 1, 2, rng=rng, dtype=np.float64)
         x = rng.normal(size=(1, 1, 3, 3))
         out = layer.forward(x)
         w = layer.params["W"][0, 0]
@@ -141,6 +222,32 @@ class TestConv2D:
         with pytest.raises(RuntimeError):
             layer.backward(rng.normal(size=(1, 1, 3, 3)))
 
+    def test_eval_forward_does_not_clobber_training_cache(self, rng):
+        """Interleaved inference must not corrupt the cached activations."""
+        layer = Conv2D(1, 2, 3, padding=1, rng=rng, dtype=np.float64)
+        x = rng.normal(size=(2, 1, 4, 4))
+        upstream = rng.normal(size=(2, 2, 4, 4))
+        layer.forward(x, training=True)
+        layer.zero_grad()
+        layer.forward(x, training=True)
+        layer.backward(upstream)
+        reference = {key: grad.copy() for key, grad in layer.grads.items()}
+        layer.zero_grad()
+        layer.forward(x, training=True)
+        layer.forward(rng.normal(size=(2, 1, 4, 4)), training=False)  # eval in between
+        layer.backward(upstream)
+        for key, grad in layer.grads.items():
+            assert np.array_equal(grad, reference[key])
+
+    def test_scratch_reuse_across_same_shape_batches(self, rng):
+        """Two same-shape batches must reuse the im2col scratch buffer."""
+        layer = Conv2D(2, 3, 3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6)).astype(np.float32)
+        layer.forward(x, training=True)
+        first = layer._cols_train
+        layer.forward(x + 1.0, training=True)
+        assert layer._cols_train is first
+
     def test_flops_positive(self, rng):
         layer = Conv2D(2, 3, 3, padding=1, rng=rng)
         layer.forward(rng.normal(size=(2, 2, 6, 6)), training=True)
@@ -156,6 +263,11 @@ class TestMaxPool2D:
         out = layer.forward(x)
         assert out.shape == (1, 1, 2, 2)
         assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_training_and_eval_forward_agree(self, rng):
+        layer = MaxPool2D(2)
+        x = rng.normal(size=(2, 3, 8, 8))
+        assert np.array_equal(layer.forward(x, training=True), layer.forward(x, training=False))
 
     def test_rejects_non_divisible_input(self):
         layer = MaxPool2D(2)
@@ -183,6 +295,17 @@ class TestMaxPool2D:
         assert grad.sum() == pytest.approx(1.0)
         assert (grad > 0).sum() == 1
 
+    def test_tie_break_matches_first_window_position(self):
+        """Ties resolve to the first max in row-major window order."""
+        layer = MaxPool2D(2)
+        x = np.zeros((1, 1, 4, 4))
+        x[0, 0, 2:, 2:] = 7.0  # bottom-right window is all ties at 7
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        # The tied window routes to its top-left element (first in row-major).
+        assert grad[0, 0, 2, 2] == 1.0
+        assert grad[0, 0, 2:, 2:].sum() == 1.0
+
 
 class TestReLUFlatten:
     def test_relu_forward_and_gradient(self, rng):
@@ -192,6 +315,15 @@ class TestReLUFlatten:
         assert np.all(out >= 0)
         grad = layer.backward(np.ones_like(x))
         assert np.array_equal(grad, (x > 0).astype(float))
+
+    def test_relu_mask_buffer_reused(self, rng):
+        layer = ReLU()
+        x = rng.normal(size=(3, 4))
+        layer.forward(x, training=True)
+        first = layer._cache_mask
+        layer.forward(-x, training=True)
+        assert layer._cache_mask is first
+        assert np.array_equal(layer._cache_mask, -x > 0)
 
     def test_relu_backward_before_forward_raises(self):
         with pytest.raises(RuntimeError):
@@ -208,6 +340,21 @@ class TestReLUFlatten:
 
     def test_flatten_output_shape(self):
         assert Flatten().output_shape((3, 4, 4)) == (48,)
+
+
+class TestZeroGrad:
+    def test_zero_grad_fills_in_place(self, rng):
+        """zero_grad must reset values without reallocating the buffers."""
+        layer = Dense(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4)).astype(layer.params["W"].dtype)
+        layer.forward(x, training=True)
+        layer.backward(np.ones((3, 2), dtype=layer.params["W"].dtype))
+        buffers = {key: grad for key, grad in layer.grads.items()}
+        assert any(np.abs(g).sum() > 0 for g in buffers.values())
+        layer.zero_grad()
+        for key, grad in layer.grads.items():
+            assert grad is buffers[key]
+            assert not grad.any()
 
 
 class TestResidualBlock:
@@ -229,7 +376,7 @@ class TestResidualBlock:
         assert {"conv1.W", "conv1.b", "conv2.W", "conv2.b", "proj.W", "proj.b"} == keys
 
     def test_input_gradient(self, rng):
-        block = ResidualBlock(2, 2, rng=rng)
+        block = ResidualBlock(2, 2, rng=rng, dtype=np.float64)
         check_input_gradient(block, rng.normal(size=(1, 2, 4, 4)), tol=1e-4)
 
     def test_param_views_alias_sublayers(self, rng):
@@ -240,7 +387,7 @@ class TestResidualBlock:
 
     def test_gradients_accumulate_after_backward(self, rng):
         block = ResidualBlock(2, 2, rng=rng)
-        x = rng.normal(size=(2, 2, 4, 4))
+        x = rng.normal(size=(2, 2, 4, 4)).astype(block.params["conv1.W"].dtype)
         out = block.forward(x, training=True)
         block.backward(np.ones_like(out))
         assert any(np.abs(g).sum() > 0 for g in block.grads.values())

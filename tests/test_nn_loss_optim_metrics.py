@@ -134,6 +134,66 @@ class TestProximalSGD:
         with pytest.raises(ValueError):
             ProximalSGD(lr=0.1, mu=-0.5)
 
+    def test_per_key_anchor_with_section_step_raises(self):
+        """An anchor keyed by parameter names cannot silently no-op on the
+        section-vector step that SplitCNN.train_batch drives."""
+        from repro.nn.architectures import build_model
+
+        model = build_model("mnist-cnn", rng=np.random.default_rng(0))
+        prox = ProximalSGD(lr=0.1, mu=0.5)
+        prox.set_anchor(model.get_weights())  # per-parameter keys
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 1, 28, 28))
+        y = rng.integers(0, 10, size=4)
+        with pytest.raises(ValueError, match="anchor keys"):
+            model.train_batch(x, y, prox)
+
+    def test_partial_section_anchor_raises(self):
+        """An anchor covering only some sections must not silently drop the
+        proximal term for the others."""
+        from repro.nn.architectures import build_model
+
+        model = build_model("mnist-cnn", rng=np.random.default_rng(0))
+        prox = ProximalSGD(lr=0.1, mu=0.5)
+        prox.set_anchor({"features": model.flat_parameters("features")})
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 1, 28, 28))
+        y = rng.integers(0, 10, size=4)
+        with pytest.raises(ValueError, match="missing model sections"):
+            model.train_batch(x, y, prox)
+
+    def test_fully_frozen_model_step_is_a_noop(self):
+        """No trainable sections -> no update and no spurious anchor error."""
+        from repro.nn.architectures import build_model
+
+        model = build_model("mnist-cnn", rng=np.random.default_rng(0))
+        prox = ProximalSGD(lr=0.1, mu=0.5)
+        prox.set_anchor(
+            {section: model.flat_parameters(section) for section in model.SECTIONS}
+        )
+        model.freeze_features()
+        model.freeze_classifier()
+        before = model.get_flat_weights()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 1, 28, 28))
+        y = rng.integers(0, 10, size=4)
+        model.train_batch(x, y, prox)
+        assert np.array_equal(model.get_flat_weights(), before)
+
+    def test_flat_section_anchor_applies_proximal_term(self):
+        from repro.nn.architectures import build_model
+
+        model = build_model("mnist-cnn", rng=np.random.default_rng(0))
+        prox = ProximalSGD(lr=0.1, mu=0.5)
+        prox.set_anchor(
+            {section: model.flat_parameters(section) for section in model.SECTIONS}
+        )
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 1, 28, 28))
+        y = rng.integers(0, 10, size=4)
+        loss, _ = model.train_batch(x, y, prox)
+        assert np.isfinite(loss)
+
     def test_reset_state_clears_anchor(self):
         prox = ProximalSGD(lr=0.1, mu=1.0)
         prox.set_anchor({"w": np.array([0.0])})

@@ -108,6 +108,100 @@ class TestWeightsIO:
             model.num_feature_parameters() + model.num_classifier_parameters()
         )
 
+    def test_set_partial_weights_is_atomic_on_bad_shape(self):
+        """A payload with one bad shape must leave the model untouched."""
+        model = tiny_model()
+        before = model.get_weights()
+        payload = model.get_feature_weights()
+        good_key = next(iter(payload))
+        payload[good_key] = payload[good_key] + 5.0
+        payload["classifier.1.W"] = np.zeros((1, 1))  # wrong shape
+        with pytest.raises(ValueError):
+            model.set_partial_weights(payload)
+        for key, value in model.get_weights().items():
+            assert np.array_equal(value, before[key])
+
+
+class TestFlatWeightAPI:
+    def test_sections_cover_all_parameters(self):
+        model = tiny_model()
+        total = sum(model.flat_parameters(s).size for s in model.SECTIONS)
+        assert total == model.num_parameters()
+        assert model.get_flat_weights().shape == (total,)
+
+    def test_flat_views_alias_layer_params(self):
+        """Layer parameter dicts must be live views into the section vectors."""
+        model = tiny_model()
+        vec = model.flat_parameters("features")
+        conv = model.feature_layers[0]
+        vec[...] = 0.0
+        assert not conv.params["W"].any()
+        conv.params["W"][...] = 3.0
+        assert vec.sum() == pytest.approx(conv.params["W"].size * 3.0)
+
+    def test_flat_roundtrip_matches_dict_roundtrip(self):
+        model = tiny_model()
+        other = tiny_model(np.random.default_rng(77))
+        other.set_flat_weights(model.get_flat_weights())
+        for key, value in model.get_weights().items():
+            assert np.array_equal(value, other.get_weights()[key])
+
+    def test_section_flat_roundtrip(self):
+        model = tiny_model()
+        features = model.get_flat_weights("features")
+        model.set_flat_weights(features * 0.0, section="features")
+        assert not model.flat_parameters("features").any()
+        model.set_flat_weights(features, section="features")
+        assert np.array_equal(model.get_flat_weights("features"), features)
+
+    def test_flat_shape_validation(self):
+        model = tiny_model()
+        with pytest.raises(ValueError):
+            model.set_flat_weights(np.zeros(3))
+        with pytest.raises(ValueError):
+            model.set_flat_weights(np.zeros(3), section="classifier")
+        with pytest.raises(KeyError):
+            model.flat_parameters("bogus")
+
+    def test_flat_slots_describe_layout(self):
+        model = tiny_model()
+        views = model.named_flat_views()
+        for section in model.SECTIONS:
+            vec = model.flat_parameters(section)
+            for slot in model.flat_slots(section):
+                view = vec[slot.offset : slot.offset + slot.size].reshape(slot.shape)
+                assert view.base is not None
+                assert np.array_equal(view, views[slot.key])
+
+    def test_flat_grads_follow_backward(self):
+        model = tiny_model()
+        x, y = tiny_batch()
+        model.train_batch(x, y, optimizer=None)
+        assert np.abs(model.flat_grads("features")).sum() > 0
+        assert np.abs(model.flat_grads("classifier")).sum() > 0
+        model.zero_grad()
+        assert not model.flat_grads("features").any()
+
+    def test_optimizer_step_visible_through_views(self):
+        """A fused flat step must move the per-layer parameter views."""
+        model = tiny_model()
+        x, y = tiny_batch()
+        before = model.feature_layers[0].params["W"].copy()
+        model.train_batch(x, y, SGD(lr=0.5))
+        assert not np.array_equal(model.feature_layers[0].params["W"], before)
+
+    def test_explicit_dtype_casts_parameters(self):
+        model64 = tiny_model()
+        from repro.nn.model import SplitCNN
+
+        cast = SplitCNN(
+            model64.feature_layers, model64.classifier_layers, "tiny64", dtype=np.float64
+        )
+        assert cast.dtype == np.float64
+        assert cast.get_flat_weights().dtype == np.float64
+        for value in cast.get_weights().values():
+            assert value.dtype == np.float64
+
 
 class TestTraining:
     def test_train_batch_returns_all_phases(self):
