@@ -11,6 +11,14 @@ naive deadline-based straggler mitigation used in the motivation figures:
 * :mod:`repro.baselines.tifl` — TiFL (tier-based client selection),
 * :mod:`repro.baselines.deadline` — per-round deadlines that drop late
   clients (Figures 1(b) and 1(c)).
+
+Beyond the paper, two *asynchronous* federators extend the straggler
+comparison along the scenario-dynamics axis:
+
+* :mod:`repro.baselines.fedasync` — FedAsync (staleness-weighted updates
+  applied as they arrive),
+* :mod:`repro.baselines.fedbuff` — FedBuff (buffered asynchronous
+  aggregation of K staleness-discounted deltas).
 """
 
 from repro.baselines.fedavg import FedAvgFederator
@@ -19,6 +27,8 @@ from repro.baselines.fednova import FedNovaFederator
 from repro.baselines.fedsgd import FedSGDFederator
 from repro.baselines.tifl import TiFLFederator
 from repro.baselines.deadline import DeadlineFederator
+from repro.baselines.fedasync import AsyncFederatorBase, FedAsyncFederator
+from repro.baselines.fedbuff import FedBuffFederator
 
 __all__ = [
     "FedAvgFederator",
@@ -27,4 +37,7 @@ __all__ = [
     "FedSGDFederator",
     "TiFLFederator",
     "DeadlineFederator",
+    "AsyncFederatorBase",
+    "FedAsyncFederator",
+    "FedBuffFederator",
 ]

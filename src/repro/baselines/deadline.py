@@ -12,64 +12,28 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.fl.config import ExperimentConfig
 from repro.fl.federator import BaseFederator, RoundState
-from repro.nn.model import SplitCNN
-from repro.simulation.cluster import SimulatedCluster
 
 
 class DeadlineFederator(BaseFederator):
-    """FedAvg with a per-round deadline after which late clients are dropped."""
+    """FedAvg with a per-round deadline after which late clients are dropped.
+
+    Since the round-engine refactor this baseline is a pure *policy*: it
+    only supplies the deadline value.  The engine itself arms the deadline
+    timer, drops the stragglers when it fires, excludes them from the
+    aggregation weights and finalises the round with whatever arrived.
+    """
 
     algorithm_name = "deadline"
 
-    def __init__(
-        self,
-        cluster: SimulatedCluster,
-        config: ExperimentConfig,
-        global_model: SplitCNN,
-        x_test: np.ndarray,
-        y_test: np.ndarray,
-        client_ids: Optional[Sequence[int]] = None,
-    ) -> None:
-        super().__init__(cluster, config, global_model, x_test, y_test, client_ids=client_ids)
+    def round_deadline_seconds(self) -> Optional[float]:
         #: ``None`` means an infinite deadline, i.e. plain FedAvg behaviour.
-        self.deadline_seconds = config.deadline_seconds
+        return self.config.deadline_seconds
 
-    def on_round_started(self, state: RoundState) -> None:
-        if self.deadline_seconds is None:
-            return
-        round_number = state.round_number
-
-        def expire() -> None:
-            self._expire_round(round_number)
-
-        self.env.schedule(self.deadline_seconds, expire)
-
-    def _expire_round(self, round_number: int) -> None:
-        state = self._round_state
-        if state is None or state.finalized or state.round_number != round_number:
-            return
-        missing = [cid for cid in state.selected_clients if cid not in state.results]
-        state.dropped_clients.extend(missing)
-        # Aggregate whatever arrived in time.  If nothing arrived, the global
-        # model is left unchanged for this round (the paper's federator also
-        # keeps the previous model in that case).
-        self._finalize_round(state)
-
-    def round_complete(self, state: RoundState) -> bool:
-        # Without a deadline the behaviour is plain FedAvg; with one, the
-        # round also completes early when every client made it in time.
-        return super().round_complete(state)
-
-    def collect_contributions(self, state: RoundState):
-        contributions = []
-        for client_id in sorted(state.results):
-            if client_id in state.dropped_clients:
-                continue
-            result = state.results[client_id]
-            contributions.append((result.weights, result.num_samples, result.num_steps))
-        return contributions
+    @property
+    def deadline_seconds(self) -> Optional[float]:
+        """The configured deadline (kept for tests and diagnostics)."""
+        return self.config.deadline_seconds
 
     @property
     def drop_rate(self) -> float:

@@ -102,7 +102,10 @@ class TiFLFederator(BaseFederator):
     # -------------------------------------------------------------- selection
     def select_clients(self, round_number: int) -> List[int]:
         tier_index = self._pick_tier()
-        tier = self.tiers[tier_index]
+        tier = [cid for cid in self.tiers[tier_index] if self.cluster.is_online(cid)]
+        if not tier:
+            # The whole tier is offline (churn): fall back to whoever is up.
+            tier = self.selectable_clients()
         per_round = min(self.config.effective_clients_per_round, len(tier))
         if per_round >= len(tier):
             return sorted(tier)

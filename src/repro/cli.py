@@ -39,9 +39,11 @@ from repro.experiments.runner import run_configs
 from repro.experiments.workloads import (
     SCALES,
     ScaleProfile,
+    available_scenarios,
     baseline_algorithms,
     evaluation_config,
     known_datasets,
+    scenario_description,
 )
 from repro.fl.runtime import available_algorithms
 
@@ -142,6 +144,17 @@ def _apply_dtype(args: argparse.Namespace) -> None:
         set_compute_dtype(args.dtype)
 
 
+def _add_scenario_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default="stable",
+        help="cluster-dynamics scenario: churn, dropouts, slowdown bursts, "
+        "bandwidth traces (default: stable = static cluster); "
+        "see `repro list` for descriptions",
+    )
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -162,19 +175,31 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     algorithms = ", ".join(available_algorithms())
+    scenarios = ", ".join(available_scenarios())
+    epilog = f"available algorithms: {algorithms}\navailable scenarios: {scenarios}"
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction harness for Aergia (Middleware '22): "
         "run experiments, sweeps, and regenerate the paper's figures.",
-        epilog=f"available algorithms: {algorithms}",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser(
+        "list",
+        help="list available algorithms, scenarios, datasets, scales and figures",
+        description="Print every valid --algorithm, --scenario, --dataset and "
+        "--scale value (plus the figure names) with a one-line description.",
+    )
+    del list_p  # takes no arguments
 
     run_p = sub.add_parser(
         "run",
         help="run one experiment and print its summary",
         description="Run a single experiment configuration.",
-        epilog=f"available algorithms: {algorithms}",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     run_p.add_argument(
         "--algorithm",
@@ -196,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
     run_p.add_argument("--rounds", type=int, default=None, help="override the round budget")
+    _add_scenario_flag(run_p)
     _add_scale_flag(run_p)
     _add_dtype_flag(run_p)
     _add_execution_flags(run_p)
@@ -204,7 +230,8 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a dataset x algorithm grid through the parallel runner",
         description="Run a dataset x algorithm sweep in parallel with caching.",
-        epilog=f"available algorithms: {algorithms}",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sweep_p.add_argument(
         "--datasets",
@@ -227,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="client data partition scheme (default: noniid)",
     )
     sweep_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
+    _add_scenario_flag(sweep_p)
     _add_scale_flag(sweep_p)
     _add_dtype_flag(sweep_p)
     _add_execution_flags(sweep_p)
@@ -278,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="client data partition scheme (default: noniid)",
     )
     bench_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
+    _add_scenario_flag(bench_p)
     _add_scale_flag(bench_p)
     _add_dtype_flag(bench_p)
     bench_p.add_argument(
@@ -316,14 +345,37 @@ def _grid_configs(
     scale: ScaleProfile,
     seed: int,
     dtype: Optional[str] = None,
+    scenario: Optional[str] = None,
 ) -> Dict[str, object]:
     return {
         f"{dataset}/{algorithm}": evaluation_config(
-            dataset, algorithm, partition, scale, seed=seed, dtype=dtype
+            dataset, algorithm, partition, scale, seed=seed, dtype=dtype, scenario=scenario
         )
         for dataset in datasets
         for algorithm in algorithms
     }
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("algorithms (repro run/sweep --algorithm):")
+    for name in available_algorithms():
+        print(f"  {name}")
+    print("\nscenarios (repro run/sweep --scenario):")
+    for name in available_scenarios():
+        print(f"  {name:<16} {scenario_description(name)}")
+    print("\ndatasets (repro run/sweep --dataset):")
+    for name in known_datasets():
+        print(f"  {name}")
+    print("\nscales (--scale):")
+    for name in sorted(SCALES):
+        profile = SCALES[name]
+        print(
+            f"  {name:<8} {profile.num_clients} clients, {profile.rounds} rounds, "
+            f"{profile.local_updates} local updates, {profile.train_size} train samples"
+        )
+    print("\nfigures (repro figures):")
+    print("  " + ", ".join(FIGURE_NAMES + ("all",)))
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -333,7 +385,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
     config = evaluation_config(
-        args.dataset, args.algorithm, args.partition, scale, seed=args.seed, **overrides
+        args.dataset,
+        args.algorithm,
+        args.partition,
+        scale,
+        seed=args.seed,
+        scenario=args.scenario,
+        **overrides,
     )
     # A single config executes inline even in the parallel path, so the
     # shared --workers default ("one per CPU") is honest here too.
@@ -344,7 +402,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(
         render_summaries(
             suite.summaries(),
-            title=f"repro run: {args.dataset}/{args.algorithm} ({args.partition}, {scale.name} scale)",
+            title=f"repro run: {args.dataset}/{args.algorithm} "
+            f"({args.partition}, {scale.name} scale, {args.scenario} scenario)",
         )
     )
     cached = " (cached)" if suite.cache_hits else ""
@@ -356,7 +415,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
     _apply_dtype(args)
     configs = _grid_configs(
-        args.datasets, args.algorithms, args.partition, scale, args.seed, dtype=args.dtype
+        args.datasets,
+        args.algorithms,
+        args.partition,
+        scale,
+        args.seed,
+        dtype=args.dtype,
+        scenario=args.scenario,
     )
     policy = configure(args.workers, args.cache_dir)
     workers, cache_dir = policy.workers, policy.cache_dir
@@ -412,7 +477,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.engine:
         return _cmd_bench_engine(args, scale)
     configs = _grid_configs(
-        args.datasets, args.algorithms, args.partition, scale, args.seed, dtype=args.dtype
+        args.datasets,
+        args.algorithms,
+        args.partition,
+        scale,
+        args.seed,
+        dtype=args.dtype,
+        scenario=args.scenario,
     )
     workers = resolve_workers(args.workers)
 
@@ -459,6 +530,7 @@ def _cmd_bench_engine(args: argparse.Namespace, scale: ScaleProfile) -> int:
 
 
 _COMMANDS: Mapping[str, Callable[[argparse.Namespace], int]] = {
+    "list": _cmd_list,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "figures": _cmd_figures,

@@ -71,9 +71,19 @@ class AergiaFederator(BaseFederator):
 
     def on_profile_report(self, state: RoundState, report: ProfileReport) -> None:
         """Compute and distribute the offloading schedule once all reports arrived."""
-        if state.num_offloads:
-            return  # schedule already computed for this round
-        if set(state.profile_reports) != set(state.selected_clients):
+        self._maybe_schedule_plan(state)
+
+    def on_client_dropped(self, state: RoundState, client_id: int) -> None:
+        # A dropout can complete the report set of the remaining clients.
+        self._maybe_schedule_plan(state)
+
+    def _maybe_schedule_plan(self, state: RoundState) -> None:
+        if state.round_number in self.plans:
+            return  # schedule already computed for this round (even if it
+            # contained zero offloads: scheduling happens once per round)
+        # Under churn, dropped clients will never report: the schedule is
+        # computed from the clients still expected to contribute.
+        if not set(state.expected_clients) <= set(state.profile_reports):
             return
         plan = self._compute_plan(state)
         self.plans[state.round_number] = plan
@@ -83,6 +93,8 @@ class AergiaFederator(BaseFederator):
     def _compute_plan(self, state: RoundState) -> OffloadPlan:
         performances: List[ClientPerformance] = []
         for client_id in state.selected_clients:
+            if client_id in state.dropped_clients or client_id not in state.profile_reports:
+                continue  # dropped, or dropped before reporting
             report = state.profile_reports[client_id]
             performances.append(
                 ClientPerformance(
@@ -142,6 +154,8 @@ class AergiaFederator(BaseFederator):
     def collect_contributions(self, state: RoundState) -> List[Tuple[Weights, int, int]]:
         contributions: List[Tuple[Weights, int, int]] = []
         for client_id in sorted(state.results):
+            if client_id in state.dropped_clients:
+                continue
             result = state.results[client_id]
             weights = result.weights
             if result.offloaded_to is not None:

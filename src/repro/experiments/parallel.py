@@ -43,7 +43,9 @@ from repro.fl.runtime import run_experiment
 
 #: Bumped whenever the serialized result layout (or the semantics of a
 #: config field) changes, so stale cache entries are never reused.
-CACHE_FORMAT = 1
+#: 2: ExperimentConfig grew DynamicsConfig + async-federation knobs and the
+#:    round engine became dropout-tolerant.
+CACHE_FORMAT = 2
 
 
 # ---------------------------------------------------------------------------

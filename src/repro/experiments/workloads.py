@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.fl.config import ExperimentConfig, ResourceConfig
+from repro.fl.config import DynamicsConfig, ExperimentConfig, ResourceConfig
 
 
 @dataclass(frozen=True)
@@ -92,6 +92,115 @@ def baseline_algorithms() -> Tuple[str, ...]:
     return ("fedavg", "fedprox", "fednova", "tifl", "aergia")
 
 
+# ---------------------------------------------------------------------------
+# Named scenarios: time-varying cluster behaviour at a chosen scale
+# ---------------------------------------------------------------------------
+#: Reference dynamics time unit: roughly one smoke-scale training round.
+#: Scenario time constants below are expressed in these units and stretched
+#: proportionally to the scale profile's per-round client work, so "a churn
+#: cycle every couple of rounds" means the same thing at every scale.
+_SMOKE_ROUND_WORK = SCALES["smoke"].local_updates * SCALES["smoke"].batch_size
+
+#: name -> (description, builder(time_stretch) -> DynamicsConfig)
+_SCENARIOS: Dict[str, Tuple[str, object]] = {
+    "stable": (
+        "static cluster, no dynamics (the pre-refactor behaviour)",
+        lambda f: DynamicsConfig(scenario="stable"),
+    ),
+    "churn": (
+        "clients leave and rejoin on exponential on/off windows; "
+        "mid-round leavers are dropped from the round",
+        lambda f: DynamicsConfig(
+            scenario="churn",
+            churn=True,
+            mean_online_s=2.5 * f,
+            mean_offline_s=0.8 * f,
+            min_online_clients=1,
+            first_event_s=0.3 * f,
+            client_timeout_s=8.0 * f,
+        ),
+    ),
+    "flaky-network": (
+        "client<->federator bandwidth fluctuates between 2% and 60% of "
+        "nominal on a Poisson trace",
+        lambda f: DynamicsConfig(
+            scenario="flaky-network",
+            bandwidth_rate_per_s=2.0 / f,
+            bandwidth_low_factor=0.02,
+            bandwidth_high_factor=0.6,
+            mean_bandwidth_hold_s=1.0 * f,
+            first_event_s=0.1 * f,
+        ),
+    ),
+    "straggler-burst": (
+        "random clients are slowed 5x for short bursts (transient "
+        "co-located load)",
+        lambda f: DynamicsConfig(
+            scenario="straggler-burst",
+            slowdown_rate_per_s=1.5 / f,
+            slowdown_factor=5.0,
+            mean_slowdown_s=1.5 * f,
+            first_event_s=0.1 * f,
+        ),
+    ),
+    "mega-churn": (
+        "aggressive churn plus slowdown bursts plus a flaky network — "
+        "the worst case of all three axes",
+        lambda f: DynamicsConfig(
+            scenario="mega-churn",
+            churn=True,
+            mean_online_s=1.2 * f,
+            mean_offline_s=1.0 * f,
+            min_online_clients=1,
+            first_event_s=0.2 * f,
+            client_timeout_s=5.0 * f,
+            slowdown_rate_per_s=1.0 / f,
+            slowdown_factor=4.0,
+            mean_slowdown_s=1.0 * f,
+            bandwidth_rate_per_s=1.0 / f,
+            bandwidth_low_factor=0.05,
+            bandwidth_high_factor=0.8,
+            mean_bandwidth_hold_s=1.0 * f,
+        ),
+    ),
+}
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """All named scenarios, sorted (with ``stable`` first)."""
+    names = sorted(name for name in _SCENARIOS if name != "stable")
+    return ("stable", *names)
+
+
+def scenario_description(name: str) -> str:
+    """One-line description of a named scenario (used by ``repro list``)."""
+    try:
+        return _SCENARIOS[name][0]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; valid scenarios: {', '.join(available_scenarios())}"
+        ) from None
+
+
+def scenario_dynamics(name: str, scale: Optional[ScaleProfile] = None) -> DynamicsConfig:
+    """Build the :class:`DynamicsConfig` behind a named scenario.
+
+    Time constants stretch with the scale profile's per-round client work
+    (``local_updates x batch_size``) so that, relative to a round, the
+    dynamics are equally aggressive at every scale.
+    """
+    try:
+        _, builder = _SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; valid scenarios: {', '.join(available_scenarios())}"
+        ) from None
+    stretch = 1.0
+    if scale is not None:
+        stretch = (scale.local_updates * scale.batch_size) / _SMOKE_ROUND_WORK
+    return builder(stretch)
+
+
 _ARCHITECTURE_FOR_DATASET = {
     "mnist": "mnist-cnn",
     "fmnist": "fmnist-cnn",
@@ -120,6 +229,7 @@ def evaluation_config(
     scale: ScaleProfile,
     seed: int = 42,
     classes_per_client: int = 3,
+    scenario: Optional[str] = None,
     **overrides,
 ) -> ExperimentConfig:
     """The per-figure building block: one algorithm on one dataset.
@@ -128,6 +238,10 @@ def evaluation_config(
     scale profile shrinks its client count and round count by the configured
     fractions, exactly like the paper uses fewer rounds of the heavier
     workloads' wall-clock budget.
+
+    ``scenario`` selects a named dynamics scenario (``"stable"``,
+    ``"churn"``, ...) with time constants stretched to the scale profile;
+    an explicit ``dynamics=...`` override takes precedence.
     """
     num_clients = scale.num_clients
     clients_per_round = scale.clients_per_round
@@ -156,6 +270,7 @@ def evaluation_config(
         test_size=scale.test_size,
         batch_size=scale.batch_size,
         resources=ResourceConfig(scheme="uniform", low=0.1, high=1.0),
+        dynamics=scenario_dynamics(scenario if scenario is not None else "stable", scale),
         seed=seed,
     )
     if overrides:

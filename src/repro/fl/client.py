@@ -69,6 +69,7 @@ class FLClient:
         self.optimizer: Optimizer = self._build_optimizer()
 
         self.network.register(client_id, self.handle_message)
+        cluster.attach_actor(client_id, self)
 
         # Round state (reset at every TRAIN_REQUEST).
         self._round: Optional[int] = None
@@ -89,12 +90,18 @@ class FLClient:
         self._offload_model: Optional[SplitCNN] = None
         self._offload_batches_done = 0
         self._offload_training_active = False
+        #: Pending batch-completion events, kept so that a disconnect (or a
+        #: new round arriving while a stale batch is still in flight) can
+        #: cancel them instead of letting them corrupt later rounds.
+        self._pending_batch_event = None
+        self._pending_offload_event = None
 
         # Lifetime statistics (used by tests and reports).
         self.rounds_participated = 0
         self.total_batches_trained = 0
         self.total_offloads_sent = 0
         self.total_offloads_trained = 0
+        self.times_disconnected = 0
 
     # ------------------------------------------------------------------ setup
     def _build_optimizer(self) -> Optimizer:
@@ -134,9 +141,47 @@ class FLClient:
         """Whether a control message belongs to a round other than the current one."""
         return self._round is None or message.round_number != self._round
 
+    # ------------------------------------------------------------- lifecycle
+    def on_disconnect(self) -> None:
+        """Called by the cluster when this client goes offline.
+
+        All local work is aborted: pending batch completions are cancelled
+        and the round state is cleared, so nothing from the interrupted
+        round can leak into a later one.  The model itself keeps its weights
+        (a rejoining client is handed fresh global weights with the next
+        training request anyway).
+        """
+        self.times_disconnected += 1
+        self._cancel_pending_work()
+        self._round = None
+        self._own_training_done = False
+        self._result_sent = False
+        self._incoming_package = None
+        self._offload_training_active = False
+        self._offload_target = None
+        self._has_offloaded = False
+
+    def on_reconnect(self) -> None:
+        """Called by the cluster when this client comes back online."""
+        # Nothing to do: the client idles until the next TRAIN_REQUEST.
+
+    def _cancel_pending_work(self) -> None:
+        """Cancel any scheduled batch-completion events."""
+        if self._pending_batch_event is not None:
+            self._pending_batch_event.cancel()
+            self._pending_batch_event = None
+        if self._pending_offload_event is not None:
+            self._pending_offload_event.cancel()
+            self._pending_offload_event = None
+
     # ------------------------------------------------------------ round start
     def _start_round(self, message: Message) -> None:
         payload = message.payload
+        # A new round supersedes whatever this client was doing: if it was
+        # still training for an expired round (e.g. it was dropped by a
+        # deadline or timeout), the stale batch completion must not fire
+        # into the new round's accounting.
+        self._cancel_pending_work()
         self._round = message.round_number
         self._total_batches = int(payload["total_batches"])
         self._profile_batches = int(payload.get("profile_batches", 0))
@@ -193,9 +238,12 @@ class FLClient:
                 phase: self.clock.measure(seconds) for phase, seconds in phase_durations.items()
             }
             duration += self._profiler.record_batch(measured)
-        self.env.schedule(duration, lambda: self._on_own_batch_done(loss))
+        self._pending_batch_event = self.env.schedule(
+            duration, lambda: self._on_own_batch_done(loss)
+        )
 
     def _on_own_batch_done(self, loss: float) -> None:
+        self._pending_batch_event = None
         self._batches_done += 1
         self.total_batches_trained += 1
         self._losses.append(loss)
@@ -348,9 +396,10 @@ class FLClient:
         xb, yb = self.loader.next_batch()
         _, trace = model.train_batch(xb, yb, self._offload_optimizer)
         duration = self.cost_model.feature_training_seconds(trace, self.resource, self.env.now)
-        self.env.schedule(duration, self._on_offloaded_batch_done)
+        self._pending_offload_event = self.env.schedule(duration, self._on_offloaded_batch_done)
 
     def _on_offloaded_batch_done(self) -> None:
+        self._pending_offload_event = None
         package = self._incoming_package
         if package is None:  # pragma: no cover - defensive
             return

@@ -45,6 +45,111 @@ class ResourceConfig:
 
 
 @dataclass
+class DynamicsConfig:
+    """Time-varying cluster behaviour driven by the scenario engine.
+
+    All dynamics are *scheduled on the simulation's event queue* by
+    :class:`repro.simulation.dynamics.ScenarioDynamics` and every random
+    draw comes from a generator seeded by the experiment seed, so a given
+    ``(config, seed)`` pair always produces the identical virtual-time
+    trace — dynamic runs stay bit-for-bit reproducible across serial and
+    parallel execution.
+
+    The default instance is completely inert (:meth:`is_active` is
+    ``False``): no events are scheduled and the simulation behaves exactly
+    like the static, build-time-frozen cluster of the original code.
+
+    Attributes
+    ----------
+    scenario:
+        Human-readable label of the named scenario this config was built
+        from (``"stable"``, ``"churn"``, ...).  Purely descriptive; the
+        behaviour is fully determined by the fields below.
+    churn:
+        Enable per-client availability cycling: each client alternates
+        between online windows (mean ``mean_online_s``) and offline windows
+        (mean ``mean_offline_s``), both exponentially distributed.  A client
+        that goes offline mid-round drops out of the round: its in-flight
+        messages fail and the federator is notified.
+    min_online_clients:
+        Churn never takes a client offline if doing so would leave fewer
+        than this many clients online.
+    first_event_s:
+        Quiet period before the first dynamics event of any kind.
+    slowdown_rate_per_s:
+        Poisson rate (events per virtual second, cluster-wide) of straggler
+        slowdown bursts.  Each burst divides one random online client's
+        ``speed_fraction`` by ``slowdown_factor`` for an exponentially
+        distributed duration with mean ``mean_slowdown_s``.
+    bandwidth_rate_per_s:
+        Poisson rate of bandwidth-trace mutations.  Each mutation rescales
+        one random client's up/down links to the federator by a factor
+        drawn uniformly from [``bandwidth_low_factor``,
+        ``bandwidth_high_factor``], reverting after an exponentially
+        distributed hold time with mean ``mean_bandwidth_hold_s``.
+    client_timeout_s:
+        Per-client timeout used by the synchronous round engine: a selected
+        client that has not delivered its update this many virtual seconds
+        after the round started is dropped from the round.  ``None`` (the
+        default) waits forever, which is the classic FedAvg behaviour.
+    """
+
+    scenario: str = "stable"
+
+    # Availability / churn
+    churn: bool = False
+    mean_online_s: float = 30.0
+    mean_offline_s: float = 5.0
+    min_online_clients: int = 1
+    first_event_s: float = 0.0
+
+    # Straggler slowdown bursts
+    slowdown_rate_per_s: float = 0.0
+    slowdown_factor: float = 4.0
+    mean_slowdown_s: float = 2.0
+
+    # Bandwidth traces
+    bandwidth_rate_per_s: float = 0.0
+    bandwidth_low_factor: float = 0.1
+    bandwidth_high_factor: float = 1.0
+    mean_bandwidth_hold_s: float = 3.0
+
+    # Federation-layer tolerance
+    client_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mean_online_s <= 0 or self.mean_offline_s <= 0:
+            raise ValueError("churn online/offline window means must be positive")
+        if self.min_online_clients < 0:
+            raise ValueError("min_online_clients cannot be negative")
+        if self.first_event_s < 0:
+            raise ValueError("first_event_s cannot be negative")
+        if self.slowdown_rate_per_s < 0:
+            raise ValueError("slowdown_rate_per_s cannot be negative")
+        if self.slowdown_factor < 1:
+            raise ValueError("slowdown_factor must be >= 1")
+        if self.mean_slowdown_s <= 0:
+            raise ValueError("mean_slowdown_s must be positive")
+        if self.bandwidth_rate_per_s < 0:
+            raise ValueError("bandwidth_rate_per_s cannot be negative")
+        if not 0 < self.bandwidth_low_factor <= self.bandwidth_high_factor:
+            raise ValueError(
+                "bandwidth factors must satisfy 0 < low <= high "
+                f"(got [{self.bandwidth_low_factor}, {self.bandwidth_high_factor}])"
+            )
+        if self.mean_bandwidth_hold_s <= 0:
+            raise ValueError("mean_bandwidth_hold_s must be positive")
+        if self.client_timeout_s is not None and self.client_timeout_s <= 0:
+            raise ValueError("client_timeout_s must be positive when set")
+
+    def is_active(self) -> bool:
+        """Whether any time-varying behaviour is enabled at all."""
+        return bool(
+            self.churn or self.slowdown_rate_per_s > 0 or self.bandwidth_rate_per_s > 0
+        )
+
+
+@dataclass
 class ExperimentConfig:
     """Full description of one federated-learning experiment.
 
@@ -83,10 +188,26 @@ class ExperimentConfig:
     tifl_num_tiers: int = 3
     aergia_similarity_factor: float = 1.0
 
+    # Asynchronous federation (fedasync / fedbuff)
+    #: Base mixing weight of FedAsync's staleness-weighted server update.
+    fedasync_alpha: float = 0.6
+    #: Exponent of the polynomial staleness discount (1 + s)^-power.
+    fedasync_staleness_power: float = 0.5
+    #: Updates FedBuff buffers per aggregation; None -> half the per-round
+    #: client count (at least 1).
+    fedbuff_buffer_size: Optional[int] = None
+    #: Clients training concurrently under the async federators; None ->
+    #: effective_clients_per_round.
+    async_concurrency: Optional[int] = None
+
     # Heterogeneity
     resources: ResourceConfig = field(default_factory=ResourceConfig)
     network_latency_s: float = 0.01
     network_bandwidth_bytes_per_s: float = 125e6
+
+    # Scenario dynamics (churn, dropouts, slowdown bursts, bandwidth traces).
+    # The default is inert: the cluster is static for the whole run.
+    dynamics: DynamicsConfig = field(default_factory=DynamicsConfig)
 
     # Compute engine
     #: Numeric width of the numpy engine: "float32" (fast default),
@@ -121,11 +242,33 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown compute dtype {self.dtype!r}; valid: float32, float64 (or None)"
             )
+        if not 0 < self.fedasync_alpha <= 1:
+            raise ValueError("fedasync_alpha must be in (0, 1]")
+        if self.fedasync_staleness_power < 0:
+            raise ValueError("fedasync_staleness_power cannot be negative")
+        if self.fedbuff_buffer_size is not None and self.fedbuff_buffer_size < 1:
+            raise ValueError("fedbuff_buffer_size must be at least 1 when set")
+        if self.async_concurrency is not None and self.async_concurrency < 1:
+            raise ValueError("async_concurrency must be at least 1 when set")
 
     @property
     def effective_clients_per_round(self) -> int:
         """Number of clients selected in each round."""
         return self.clients_per_round if self.clients_per_round is not None else self.num_clients
+
+    @property
+    def effective_fedbuff_buffer_size(self) -> int:
+        """FedBuff's aggregation buffer size (auto: half the round's clients)."""
+        if self.fedbuff_buffer_size is not None:
+            return self.fedbuff_buffer_size
+        return max(1, self.effective_clients_per_round // 2)
+
+    @property
+    def effective_async_concurrency(self) -> int:
+        """Clients kept training concurrently by the async federators."""
+        if self.async_concurrency is not None:
+            return self.async_concurrency
+        return self.effective_clients_per_round
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy of this config with the given fields replaced."""
@@ -144,4 +287,5 @@ class ExperimentConfig:
             "local_updates": self.local_updates,
             "seed": self.seed,
             "dtype": self.dtype,
+            "scenario": self.dynamics.scenario,
         }

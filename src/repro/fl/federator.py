@@ -3,7 +3,7 @@
 The federator drives the global training loop of the paper (§2.2, §3.3):
 
 1. select a subset of clients and send them the current global model,
-2. wait for every selected client's update (subclasses can drop late
+2. collect the selected clients' updates (subclasses can drop late
    clients — the deadline baseline — or orchestrate offloading — Aergia),
 3. aggregate the updates into the next global model,
 4. evaluate the global model on the held-out test set and record the round.
@@ -11,12 +11,44 @@ The federator drives the global training loop of the paper (§2.2, §3.3):
 The round duration is measured exactly as in the paper: from the moment the
 training requests are sent until the last participating client's results
 arrive at the federator.
+
+Round engine
+------------
+Since the scenario-dynamics refactor the round loop is an explicit
+event-driven state machine that tolerates *partial participation*.  A round
+moves through three phases::
+
+    IDLE ──select──▶ COLLECTING ──complete / deadline / all-dropped──▶ FINALIZED
+      ▲                  │
+      │                  ├── TRAIN_RESULT / OFFLOAD_RESULT  (progress)
+      │                  ├── per-client timeout   ──▶ drop client
+      │                  └── dropout notification ──▶ drop client
+      └──────────── next round (or wait for a client to rejoin)
+
+* ``COLLECTING`` ends when :meth:`round_complete` holds — every *expected*
+  client (selected minus dropped) has contributed — or when the round
+  deadline (:meth:`round_deadline_seconds`) expires, in which case the
+  stragglers are dropped and whatever arrived is aggregated.
+* Clients drop out of a round in two ways: a *dropout notification* from
+  the cluster (the client disconnected; its in-flight messages failed) or a
+  *per-client timeout* (:meth:`client_timeout_seconds`, from
+  ``config.dynamics.client_timeout_s``).
+* :meth:`finalize_round` aggregates whatever arrived; an empty round leaves
+  the global model unchanged, exactly like the paper's federator.
+* If every client is offline when a round would start, the engine parks
+  (``IDLE``) and restarts as soon as a client rejoins.
+
+With no dynamics configured (no timeouts, no churn) the engine reduces to
+the classic blocking behaviour and is bit-for-bit identical to the
+pre-refactor round loop.  Subclasses specialise *policies* — selection
+(TiFL), deadlines (the deadline baseline), scheduling (Aergia) — instead of
+hand-rolling wait logic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -33,9 +65,21 @@ from repro.fl.metrics import ExperimentResult, RoundRecord
 from repro.fl.selection import select_all, select_random
 from repro.nn.model import SplitCNN
 from repro.simulation.cluster import FEDERATOR_ID, SimulatedCluster
+from repro.simulation.events import Event
 from repro.simulation.network import Message, weights_wire_bytes
 
 Weights = Dict[str, np.ndarray]
+
+
+class RoundPhase:
+    """States of the round engine's state machine."""
+
+    #: No round in flight (between rounds, or parked waiting for a rejoin).
+    IDLE = "idle"
+    #: Training requests sent; collecting results, timeouts and dropouts.
+    COLLECTING = "collecting"
+    #: Aggregated and recorded; the state object is retired.
+    FINALIZED = "finalized"
 
 
 @dataclass
@@ -45,12 +89,34 @@ class RoundState:
     round_number: int
     start_time: float
     selected_clients: List[int]
+    phase: str = RoundPhase.COLLECTING
     results: Dict[int, TrainingResult] = field(default_factory=dict)
     offload_results: Dict[int, OffloadResult] = field(default_factory=dict)
     profile_reports: Dict[int, ProfileReport] = field(default_factory=dict)
     dropped_clients: List[int] = field(default_factory=list)
-    finalized: bool = False
+    #: Clients that disconnected at any point during the round (superset of
+    #: the dropped ones: a client that already delivered its result keeps
+    #: its contribution but can no longer act, e.g. as an offload trainer).
+    disconnected: Set[int] = field(default_factory=set)
     num_offloads: int = 0
+    #: Per-client timeout events, cancelled as results arrive.
+    timeout_events: Dict[int, Event] = field(default_factory=dict)
+    #: Round-deadline event, if the policy set one.
+    deadline_event: Optional[Event] = None
+
+    @property
+    def finalized(self) -> bool:
+        return self.phase == RoundPhase.FINALIZED
+
+    @property
+    def expected_clients(self) -> List[int]:
+        """Clients whose contribution the round is still entitled to."""
+        return [cid for cid in self.selected_clients if cid not in self.dropped_clients]
+
+    @property
+    def pending_clients(self) -> List[int]:
+        """Expected clients that have not delivered a result yet."""
+        return [cid for cid in self.expected_clients if cid not in self.results]
 
 
 class BaseFederator:
@@ -81,6 +147,9 @@ class BaseFederator:
         )
         self._rng = np.random.default_rng(config.seed + 1)
         self._round_state: Optional[RoundState] = None
+        #: Set when a round could not start because no client was online;
+        #: the next rejoin restarts the loop.
+        self._round_pending = False
         self._rounds_completed = 0
         self.setup_time = 0.0
 
@@ -90,6 +159,7 @@ class BaseFederator:
             config=config.describe(),
         )
         self.network.register(FEDERATOR_ID, self.handle_message)
+        cluster.add_membership_listener(self._on_membership_change)
 
     # ---------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -101,6 +171,17 @@ class BaseFederator:
         return self._rounds_completed >= self.config.rounds
 
     @property
+    def engine_phase(self) -> str:
+        """Current state of the round engine (see :class:`RoundPhase`).
+
+        ``IDLE`` between rounds (including when parked waiting for a client
+        to rejoin), otherwise the in-flight round's phase.
+        """
+        if self._round_state is None:
+            return RoundPhase.IDLE
+        return self._round_state.phase
+
+    @property
     def current_round(self) -> int:
         return self._round_state.round_number if self._round_state else self._rounds_completed
 
@@ -109,12 +190,17 @@ class BaseFederator:
         """Whether clients should run the online profiler and report timings."""
         return False
 
+    def selectable_clients(self) -> List[int]:
+        """Clients eligible for selection: the online subset, in id order."""
+        return [cid for cid in self.client_ids if self.cluster.is_online(cid)]
+
     def select_clients(self, round_number: int) -> List[int]:
         """Client-selection policy (FedAvg-style random selection by default)."""
+        pool = self.selectable_clients()
         per_round = self.config.effective_clients_per_round
-        if per_round >= len(self.client_ids):
-            return select_all(self.client_ids)
-        return select_random(self.client_ids, per_round, rng=self._rng)
+        if per_round >= len(pool):
+            return select_all(pool)
+        return select_random(pool, per_round, rng=self._rng)
 
     def total_batches_for(self, client_id: int, round_number: int) -> int:
         """Number of local updates a client performs in a round."""
@@ -126,19 +212,51 @@ class BaseFederator:
     def on_profile_report(self, state: RoundState, report: ProfileReport) -> None:
         """Hook called for every profile report received (Aergia overrides)."""
 
+    def on_client_dropped(self, state: RoundState, client_id: int) -> None:
+        """Hook called when a client is dropped from the round in flight."""
+
+    def round_deadline_seconds(self) -> Optional[float]:
+        """Round-level deadline after which stragglers are dropped and the
+        round finalises with whatever arrived (the deadline baseline's
+        policy knob).  ``None`` disables the deadline."""
+        return None
+
+    def client_timeout_seconds(self) -> Optional[float]:
+        """Per-client timeout measured from the round start.  Defaults to
+        the scenario's ``dynamics.client_timeout_s`` (``None``: wait
+        forever)."""
+        return self.config.dynamics.client_timeout_s
+
     def round_complete(self, state: RoundState) -> bool:
-        """Whether all contributions needed to finalise the round have arrived."""
-        if set(state.results) != set(state.selected_clients):
+        """Whether all contributions needed to finalise the round have arrived.
+
+        The round is complete when every *expected* client (selected minus
+        dropped) has delivered its result, and every promised offload result
+        whose trainer is still connected has arrived.
+        """
+        expected = state.expected_clients
+        if set(state.results) != set(expected):
             return False
         for result in state.results.values():
             if result.offloaded_to is not None and result.client_id not in state.offload_results:
+                trainer = result.offloaded_to
+                # An offload expectation is void when the trainer left the
+                # round (it lost the offloaded model with its state).
+                if trainer in state.disconnected or not self.cluster.is_online(trainer):
+                    continue
                 return False
         return True
 
     def collect_contributions(self, state: RoundState) -> List[Tuple[Weights, int, int]]:
-        """Build the (weights, num_samples, num_steps) list to aggregate."""
+        """Build the (weights, num_samples, num_steps) list to aggregate.
+
+        Dropped clients are excluded from the aggregation weights even if a
+        late result somehow landed in ``state.results``.
+        """
         contributions = []
         for client_id in sorted(state.results):
+            if client_id in state.dropped_clients:
+                continue
             result = state.results[client_id]
             contributions.append((result.weights, result.num_samples, result.num_steps))
         return contributions
@@ -182,6 +300,12 @@ class BaseFederator:
     def _start_round(self) -> None:
         round_number = self._rounds_completed + 1
         selected = self.select_clients(round_number)
+        if not selected:
+            # Every client is offline: park the engine; the membership
+            # listener restarts it the moment a client rejoins.
+            self._round_pending = True
+            return
+        self._round_pending = False
         state = RoundState(
             round_number=round_number,
             start_time=self.env.now,
@@ -204,6 +328,35 @@ class BaseFederator:
                 size_bytes=weights_wire_bytes(self.global_weights),
             )
         self.on_round_started(state)
+        self._arm_round_timers(state)
+
+    def _arm_round_timers(self, state: RoundState) -> None:
+        """Schedule the round deadline and the per-client timeouts."""
+        deadline = self.round_deadline_seconds()
+        if deadline is not None:
+            state.deadline_event = self.env.schedule(
+                deadline, lambda: self._on_round_deadline(state)
+            )
+        timeout = self.client_timeout_seconds()
+        if timeout is not None:
+            for client_id in state.selected_clients:
+                state.timeout_events[client_id] = self.env.schedule(
+                    timeout, self._make_client_timeout(state, client_id)
+                )
+
+    def _make_client_timeout(self, state: RoundState, client_id: int):
+        def fire() -> None:
+            self._on_client_timeout(state, client_id)
+
+        return fire
+
+    def _cancel_round_timers(self, state: RoundState) -> None:
+        if state.deadline_event is not None:
+            state.deadline_event.cancel()
+            state.deadline_event = None
+        for event in state.timeout_events.values():
+            event.cancel()
+        state.timeout_events.clear()
 
     # --------------------------------------------------------------- messaging
     def handle_message(self, message: Message) -> None:
@@ -213,7 +366,12 @@ class BaseFederator:
             return
         if message.kind == MessageKind.TRAIN_RESULT:
             result: TrainingResult = message.payload
+            if result.client_id in state.dropped_clients:
+                return  # already dropped: its contribution no longer counts
             state.results[result.client_id] = result
+            timeout = state.timeout_events.pop(result.client_id, None)
+            if timeout is not None:
+                timeout.cancel()
             self._maybe_finalize(state)
         elif message.kind == MessageKind.OFFLOAD_RESULT:
             offload: OffloadResult = message.payload
@@ -224,13 +382,73 @@ class BaseFederator:
             state.profile_reports[report.client_id] = report
             self.on_profile_report(state, report)
 
+    # ----------------------------------------------------- dropouts & timeouts
+    def _on_membership_change(self, client_id: int, online: bool) -> None:
+        if online:
+            self.on_client_rejoin(client_id)
+        else:
+            self.on_client_dropout(client_id)
+
+    def on_client_dropout(self, client_id: int) -> None:
+        """A client disconnected: drop it from the round in flight (if any)."""
+        state = self._round_state
+        if state is None or state.finalized or client_id not in state.selected_clients:
+            return
+        state.disconnected.add(client_id)
+        if client_id not in state.results:
+            self._drop_client(state, client_id)
+        # Even when the client already contributed, its disconnect can void
+        # an offload expectation, so completion must be re-evaluated.
+        self._maybe_finalize(state)
+
+    def on_client_rejoin(self, client_id: int) -> None:
+        """A client reconnected: restart the loop if it was parked."""
+        if self._round_pending and not self.finished:
+            self._start_round()
+
+    def _on_client_timeout(self, state: RoundState, client_id: int) -> None:
+        if state.finalized or state is not self._round_state:
+            return
+        if client_id in state.results or client_id in state.dropped_clients:
+            return
+        self._drop_client(state, client_id)
+        self._maybe_finalize(state)
+
+    def _on_round_deadline(self, state: RoundState) -> None:
+        if state.finalized or state is not self._round_state:
+            return
+        for client_id in state.pending_clients:
+            self._drop_client(state, client_id)
+        # Aggregate whatever arrived in time.  If nothing arrived, the global
+        # model is left unchanged for this round (the paper's federator also
+        # keeps the previous model in that case).
+        self.finalize_round(state)
+
+    def _drop_client(self, state: RoundState, client_id: int) -> None:
+        """Remove a client from the round: it no longer counts towards
+        completion and its (absent) update is excluded from aggregation."""
+        if client_id in state.dropped_clients:
+            return
+        state.dropped_clients.append(client_id)
+        timeout = state.timeout_events.pop(client_id, None)
+        if timeout is not None:
+            timeout.cancel()
+        self.on_client_dropped(state, client_id)
+
     def _maybe_finalize(self, state: RoundState) -> None:
         if not state.finalized and self.round_complete(state):
-            self._finalize_round(state)
+            self.finalize_round(state)
 
     # -------------------------------------------------------------- finalisation
-    def _finalize_round(self, state: RoundState) -> None:
-        state.finalized = True
+    def finalize_round(self, state: RoundState) -> None:
+        """Aggregate whatever arrived, evaluate, record, and move on.
+
+        This is the single exit path of the ``COLLECTING`` phase, reached on
+        normal completion, on the round deadline, or when every selected
+        client dropped out.
+        """
+        state.phase = RoundPhase.FINALIZED
+        self._cancel_round_timers(state)
         contributions = self.collect_contributions(state)
         if contributions:
             self.global_weights = self.aggregate(state, contributions)
@@ -259,6 +477,9 @@ class BaseFederator:
         self._round_state = None
         if not self.finished:
             self._start_round()
+
+    # Backwards-compatible alias (pre-refactor name).
+    _finalize_round = finalize_round
 
 
 class FedAvgFederator(BaseFederator):

@@ -26,6 +26,7 @@ from repro.fl.metrics import ExperimentResult
 from repro.nn.architectures import build_model
 from repro.nn.dtype import resolve_dtype, using_dtype
 from repro.simulation.cluster import SimulatedCluster
+from repro.simulation.dynamics import ScenarioDynamics
 from repro.simulation.network import LinkSpec
 from repro.simulation.resources import (
     ResourceProfile,
@@ -44,6 +45,8 @@ class ExperimentHandle:
     federator: BaseFederator
     clients: List[FLClient]
     partitions: List[ClientPartition]
+    #: The scenario driver, when the config's dynamics are active.
+    dynamics: Optional["ScenarioDynamics"] = None
 
     def run(self) -> ExperimentResult:
         """Start the federator and run the simulation to completion."""
@@ -104,6 +107,8 @@ _FEDERATOR_CLASS_PATHS: Dict[str, Tuple[str, str]] = {
     "tifl": ("repro.baselines.tifl", "TiFLFederator"),
     "deadline": ("repro.baselines.deadline", "DeadlineFederator"),
     "aergia": ("repro.core.aergia", "AergiaFederator"),
+    "fedasync": ("repro.baselines.fedasync", "FedAsyncFederator"),
+    "fedbuff": ("repro.baselines.fedbuff", "FedBuffFederator"),
 }
 
 
@@ -240,12 +245,23 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
         **extra_kwargs,
     )
 
+    dynamics: Optional[ScenarioDynamics] = None
+    if config.dynamics.is_active():
+        dynamics = ScenarioDynamics(
+            cluster,
+            config.dynamics,
+            seed=config.seed,
+            stop_when=lambda: federator.finished,
+        )
+        dynamics.install()
+
     return ExperimentHandle(
         config=config,
         cluster=cluster,
         federator=federator,
         clients=clients,
         partitions=partitions,
+        dynamics=dynamics,
     )
 
 

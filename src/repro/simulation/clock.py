@@ -62,6 +62,14 @@ class LocalClock:
             raise ValueError("durations cannot be negative")
         return (1.0 + self.drift) * global_duration
 
+    def to_global(self, local_reading: float) -> float:
+        """Global virtual time corresponding to a local-clock reading.
+
+        Inverse of :meth:`now`: ``to_global(now()) == env.now`` (up to
+        floating-point rounding), so offset and drift round-trip exactly.
+        """
+        return (local_reading - self.offset) / (1.0 + self.drift)
+
     @staticmethod
     def random(
         env: SimulationEnvironment,

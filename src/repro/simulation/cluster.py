@@ -9,6 +9,7 @@ without knowing about simulation internals.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -65,6 +66,11 @@ class SimulatedCluster:
         self.cost_model = cost_model if cost_model is not None else ComputeCostModel()
         self._rng = np.random.default_rng(seed)
         self.nodes: Dict[Any, Node] = {}
+        #: Client actors (``repro.fl.client.FLClient``) by node id; attached
+        #: so that churn events can abort a disconnected client's local work.
+        self._actors: Dict[Any, Any] = {}
+        #: Callbacks fired on every membership change: ``cb(client_id, online)``.
+        self._membership_listeners: List[Callable[[Any, bool], None]] = []
 
         # Federator node: no resource profile (it is assumed correct and
         # never the computational bottleneck in the paper).
@@ -100,6 +106,92 @@ class SimulatedCluster:
         if node_id not in self.nodes:
             raise KeyError(f"unknown node {node_id!r}")
         self.network.register(node_id, handler)
+
+    # ----------------------------------------------------- dynamic membership
+    def attach_actor(self, node_id: Any, actor: Any) -> None:
+        """Attach the actor object living on a node (used on churn events).
+
+        The actor may implement ``on_disconnect()`` / ``on_reconnect()``;
+        both are optional.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        self._actors[node_id] = actor
+
+    def add_membership_listener(self, callback: Callable[[Any, bool], None]) -> None:
+        """Subscribe to online/offline transitions: ``callback(client_id, online)``."""
+        self._membership_listeners.append(callback)
+
+    def is_online(self, node_id: Any) -> bool:
+        """Whether a node is currently connected."""
+        return self.network.is_online(node_id)
+
+    @property
+    def online_client_ids(self) -> List[int]:
+        """Ids of the clients currently online, in ascending order."""
+        return [cid for cid in self.client_ids if self.network.is_online(cid)]
+
+    def set_client_offline(self, client_id: int) -> None:
+        """Disconnect a client: fail its in-flight messages, abort its local
+        work, and notify membership listeners (the federator).
+
+        The order matters and is part of the contract: the network drops
+        in-flight messages first (nothing sent before the disconnect can be
+        delivered afterwards), then the client actor cancels its pending
+        compute, and only then do listeners observe the dropout.
+        """
+        self.profile(client_id)  # raises KeyError for unknown/federator ids
+        if not self.network.is_online(client_id):
+            return
+        self.network.set_node_online(client_id, False)
+        actor = self._actors.get(client_id)
+        if actor is not None and hasattr(actor, "on_disconnect"):
+            actor.on_disconnect()
+        for callback in self._membership_listeners:
+            callback(client_id, False)
+
+    def set_client_online(self, client_id: int) -> None:
+        """Reconnect a client; it idles until the federator sends new work."""
+        self.profile(client_id)
+        if self.network.is_online(client_id):
+            return
+        self.network.set_node_online(client_id, True)
+        actor = self._actors.get(client_id)
+        if actor is not None and hasattr(actor, "on_reconnect"):
+            actor.on_reconnect()
+        for callback in self._membership_listeners:
+            callback(client_id, True)
+
+    # -------------------------------------------------- time-varying resources
+    def scale_client_speed(self, client_id: int, factor: float) -> float:
+        """Multiply a client's ``speed_fraction`` in place (slowdown bursts).
+
+        The profile object is shared with the client actor, so the new speed
+        takes effect from the client's next training batch.  Returns the new
+        speed fraction.
+        """
+        if factor <= 0:
+            raise ValueError("speed factor must be positive")
+        profile = self.profile(client_id)
+        profile.speed_fraction *= factor
+        return profile.speed_fraction
+
+    def set_link_factor(self, client_id: int, factor: float) -> None:
+        """Rescale the client<->federator links to ``factor`` x the default.
+
+        A factor of exactly 1.0 removes the override (reverting the pair to
+        the default link), so traces always return to the baseline.
+        """
+        base = self.network.default_link()
+        if factor == 1.0:
+            self.network.clear_link(client_id, FEDERATOR_ID)
+            self.network.clear_link(FEDERATOR_ID, client_id)
+            return
+        spec = dataclasses.replace(
+            base, bandwidth_bytes_per_s=base.bandwidth_bytes_per_s * factor
+        )
+        self.network.set_link(client_id, FEDERATOR_ID, spec)
+        self.network.set_link(FEDERATOR_ID, client_id, spec)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the simulation until the event queue drains; returns the end time."""

@@ -1,0 +1,210 @@
+"""Scenario dynamics: time-varying cluster behaviour on the event queue.
+
+The original simulation froze the cluster at build time: every client
+existed for the whole run, every link kept its construction-time bandwidth
+and every ``speed_fraction`` was constant.  Real federated deployments are
+dominated by *churn* (clients joining and leaving), *dropouts* (clients
+disappearing mid-round), *straggler bursts* (co-located load stealing
+compute for a while) and *bandwidth variation*.  :class:`ScenarioDynamics`
+drives all four on top of the existing discrete-event queue:
+
+* **Availability windows** — each client alternates between online and
+  offline periods with exponentially distributed lengths.  Going offline
+  mid-round is a dropout: the cluster fails the client's in-flight
+  messages, aborts its local training and notifies the federator.
+* **Straggler slowdown bursts** — a Poisson process picks a random online
+  client and divides its ``speed_fraction`` by a configured factor for an
+  exponentially distributed duration.
+* **Bandwidth traces** — a Poisson process rescales a random client's
+  links to the federator by a factor drawn uniformly from a configured
+  range, reverting after a hold period.
+
+Every draw comes from one :class:`numpy.random.Generator` seeded from the
+experiment seed, and events fire at deterministic virtual times, so a given
+configuration always produces the identical trace — including across
+process boundaries (the parallel sweep runner).
+
+The driver re-schedules follow-up events from inside its callbacks, which
+would keep the event queue non-empty forever; the ``stop_when`` predicate
+(typically ``lambda: federator.finished``) makes every callback a no-op
+once the experiment is over so the simulation can drain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.fl.config import DynamicsConfig
+from repro.simulation.cluster import SimulatedCluster
+
+
+class ScenarioDynamics:
+    """Schedules a :class:`~repro.fl.config.DynamicsConfig`'s behaviour.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose clients, links and speeds the scenario mutates.
+    dynamics:
+        The scenario knobs.  An inert config (``is_active() == False``)
+        results in no scheduled events at all.
+    seed:
+        Experiment seed; the driver derives its own independent stream.
+    stop_when:
+        Optional predicate checked at the start of every dynamics callback;
+        once it returns ``True`` the driver stops acting and stops
+        re-scheduling, letting the event queue drain.
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        dynamics: DynamicsConfig,
+        seed: int = 0,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.dynamics = dynamics
+        self._stop_when = stop_when
+        # An independent, deterministic stream: the experiment seed feeds
+        # model init / partitioning / selection, so the dynamics derive a
+        # distinct child stream from it.
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(0xD1A,))
+        )
+        self._installed = False
+
+        # Diagnostics (used by tests and experiment logs).
+        self.offline_events = 0
+        self.online_events = 0
+        self.slowdown_events = 0
+        self.bandwidth_events = 0
+        #: Clients currently slowed down -> nesting depth of active bursts.
+        self._active_slowdowns: Dict[int, int] = {}
+        #: Latest bandwidth-trace token per client: when traces overlap on
+        #: one client, only the most recent one may restore the link.
+        self._link_trace_tokens: Dict[int, int] = {}
+        self._link_trace_counter = 0
+
+    # ------------------------------------------------------------------ setup
+    def install(self) -> None:
+        """Schedule the scenario's initial events; idempotent."""
+        if self._installed or not self.dynamics.is_active():
+            return
+        self._installed = True
+        d = self.dynamics
+        if d.churn:
+            for client_id in self.cluster.client_ids:
+                delay = d.first_event_s + self._exp(d.mean_online_s)
+                self.env.schedule(delay, self._make_go_offline(client_id))
+        if d.slowdown_rate_per_s > 0:
+            self.env.schedule(
+                d.first_event_s + self._exp(1.0 / d.slowdown_rate_per_s),
+                self._slowdown_burst,
+            )
+        if d.bandwidth_rate_per_s > 0:
+            self.env.schedule(
+                d.first_event_s + self._exp(1.0 / d.bandwidth_rate_per_s),
+                self._bandwidth_event,
+            )
+
+    def _exp(self, mean: float) -> float:
+        return float(self._rng.exponential(mean))
+
+    def _stopped(self) -> bool:
+        return self._stop_when is not None and self._stop_when()
+
+    # ------------------------------------------------------------------ churn
+    def _make_go_offline(self, client_id: int) -> Callable[[], None]:
+        def go_offline() -> None:
+            self._go_offline(client_id)
+
+        return go_offline
+
+    def _make_go_online(self, client_id: int) -> Callable[[], None]:
+        def go_online() -> None:
+            self._go_online(client_id)
+
+        return go_online
+
+    def _go_offline(self, client_id: int) -> None:
+        if self._stopped():
+            return
+        d = self.dynamics
+        online = self.cluster.online_client_ids
+        if client_id not in online or len(online) <= d.min_online_clients:
+            # Taking this client down would leave too few online (or it is
+            # already down): skip this window and try again later.
+            self.env.schedule(self._exp(d.mean_online_s), self._make_go_offline(client_id))
+            return
+        self.offline_events += 1
+        self.cluster.set_client_offline(client_id)
+        self.env.schedule(self._exp(d.mean_offline_s), self._make_go_online(client_id))
+
+    def _go_online(self, client_id: int) -> None:
+        if self._stopped():
+            return
+        self.online_events += 1
+        self.cluster.set_client_online(client_id)
+        self.env.schedule(self._exp(self.dynamics.mean_online_s), self._make_go_offline(client_id))
+
+    # ------------------------------------------------------- slowdown bursts
+    def _slowdown_burst(self) -> None:
+        if self._stopped():
+            return
+        d = self.dynamics
+        online = self.cluster.online_client_ids
+        if online:
+            client_id = int(self._rng.choice(online))
+            self.slowdown_events += 1
+            self._active_slowdowns[client_id] = self._active_slowdowns.get(client_id, 0) + 1
+            self.cluster.scale_client_speed(client_id, 1.0 / d.slowdown_factor)
+            self.env.schedule(self._exp(d.mean_slowdown_s), self._make_restore_speed(client_id))
+        self.env.schedule(self._exp(1.0 / d.slowdown_rate_per_s), self._slowdown_burst)
+
+    def _make_restore_speed(self, client_id: int) -> Callable[[], None]:
+        def restore() -> None:
+            # Bursts always end, even after stop_when flips: leaving a
+            # permanently slowed client behind would corrupt diagnostics.
+            depth = self._active_slowdowns.get(client_id, 0)
+            if depth <= 0:
+                return
+            if depth == 1:
+                self._active_slowdowns.pop(client_id, None)
+            else:
+                self._active_slowdowns[client_id] = depth - 1
+            self.cluster.scale_client_speed(client_id, self.dynamics.slowdown_factor)
+
+        return restore
+
+    # -------------------------------------------------------- bandwidth traces
+    def _bandwidth_event(self) -> None:
+        if self._stopped():
+            return
+        d = self.dynamics
+        clients: List[int] = self.cluster.client_ids
+        client_id = int(self._rng.choice(clients))
+        factor = float(self._rng.uniform(d.bandwidth_low_factor, d.bandwidth_high_factor))
+        self.bandwidth_events += 1
+        self._link_trace_counter += 1
+        token = self._link_trace_counter
+        self._link_trace_tokens[client_id] = token
+        self.cluster.set_link_factor(client_id, factor)
+        self.env.schedule(
+            self._exp(d.mean_bandwidth_hold_s), self._make_restore_link(client_id, token)
+        )
+        self.env.schedule(self._exp(1.0 / d.bandwidth_rate_per_s), self._bandwidth_event)
+
+    def _make_restore_link(self, client_id: int, token: int) -> Callable[[], None]:
+        def restore() -> None:
+            # A newer trace superseded this one: its own restore (scheduled
+            # later) owns the revert; restoring now would cut its hold short.
+            if self._link_trace_tokens.get(client_id) != token:
+                return
+            self._link_trace_tokens.pop(client_id, None)
+            self.cluster.set_link_factor(client_id, 1.0)
+
+        return restore

@@ -69,6 +69,9 @@ class Message:
     size_bytes: float = 1024.0
     sent_at: float = field(default=0.0, compare=False)
     delivered_at: float = field(default=0.0, compare=False)
+    #: Set when the message was lost: either an endpoint was offline at send
+    #: time, or a node disconnected while the message was in flight.
+    failed: bool = field(default=False, compare=False)
 
 
 #: Canonical on-the-wire width of one model parameter.  Model payloads are
@@ -110,11 +113,19 @@ def payload_size_bytes(payload: Any) -> float:
 
 
 class Network:
-    """Message router with per-link latency/bandwidth.
+    """Message router with per-link latency/bandwidth and node liveness.
 
     Nodes register a handler with :meth:`register`; :meth:`send` schedules
     the handler invocation after the link's transfer time.  Per-pair link
     overrides allow experiments with heterogeneous connectivity.
+
+    Nodes can be taken offline (:meth:`set_node_online`), which models a
+    crash or a network partition: messages addressed to or sent by an
+    offline node are lost, and every message still in flight to/from a node
+    *fails* the moment the node disconnects (its delivery event is
+    cancelled).  The reliable-delivery guarantee of the paper's RPC layer
+    therefore holds exactly while both endpoints stay connected, which is
+    the standard fail-stop relaxation used by churn studies.
     """
 
     def __init__(
@@ -126,8 +137,16 @@ class Network:
         self._default_link = default_link if default_link is not None else LinkSpec()
         self._links: Dict[Tuple[Any, Any], LinkSpec] = {}
         self._handlers: Dict[Any, Callable[[Message], None]] = {}
+        self._offline: set = set()
+        #: token -> (message, delivery event) for messages in flight.
+        self._in_flight: Dict[int, Tuple[Message, object]] = {}
+        self._next_token = 0
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        #: Messages lost because an endpoint was offline at send time.
+        self.messages_dropped = 0
+        #: In-flight messages failed by a disconnect.
+        self.messages_failed = 0
 
     def register(self, node_id: Any, handler: Callable[[Message], None]) -> None:
         """Register the message handler for a node."""
@@ -139,9 +158,61 @@ class Network:
         """Remove a node's handler (messages to it are then rejected)."""
         self._handlers.pop(node_id, None)
 
+    # ----------------------------------------------------------------- liveness
+    def is_online(self, node_id: Any) -> bool:
+        """Whether a node is currently connected (nodes default to online)."""
+        return node_id not in self._offline
+
+    def set_node_online(self, node_id: Any, online: bool) -> None:
+        """Connect or disconnect a node.
+
+        Disconnecting fails every message currently in flight to or from the
+        node (the dynamics engine calls this on churn events).  Reconnecting
+        does not replay lost messages — the protocol layers above re-send.
+        """
+        if online:
+            self._offline.discard(node_id)
+            return
+        if node_id in self._offline:
+            return
+        self._offline.add(node_id)
+        self.fail_in_flight(node_id)
+
+    def fail_in_flight(self, node_id: Any) -> int:
+        """Cancel delivery of all in-flight messages involving ``node_id``."""
+        failed = [
+            token
+            for token, (message, _event) in self._in_flight.items()
+            if message.sender == node_id or message.recipient == node_id
+        ]
+        for token in failed:
+            message, event = self._in_flight.pop(token)
+            message.failed = True
+            event.cancel()
+        self.messages_failed += len(failed)
+        return len(failed)
+
+    def in_flight_count(self, node_id: Any = None) -> int:
+        """Messages currently in flight (optionally only those touching a node)."""
+        if node_id is None:
+            return len(self._in_flight)
+        return sum(
+            1
+            for message, _event in self._in_flight.values()
+            if message.sender == node_id or message.recipient == node_id
+        )
+
     def set_link(self, src: Any, dst: Any, spec: LinkSpec) -> None:
         """Override the link characteristics for the directed pair (src, dst)."""
         self._links[(src, dst)] = spec
+
+    def default_link(self) -> LinkSpec:
+        """The link spec used for pairs without an explicit override."""
+        return self._default_link
+
+    def clear_link(self, src: Any, dst: Any) -> None:
+        """Remove a per-pair override, reverting the pair to the default link."""
+        self._links.pop((src, dst), None)
 
     def link(self, src: Any, dst: Any) -> LinkSpec:
         """The link spec used for the directed pair (src, dst)."""
@@ -173,14 +244,29 @@ class Network:
             size_bytes=size,
             sent_at=self._env.now,
         )
+        if not self.is_online(sender) or not self.is_online(recipient):
+            # A partitioned endpoint: the message is lost, not queued.
+            message.failed = True
+            self.messages_dropped += 1
+            return message
         delay = self.transfer_time(sender, recipient, size)
         handler = self._handlers[recipient]
+        token = self._next_token
+        self._next_token += 1
 
         def deliver() -> None:
+            self._in_flight.pop(token, None)
+            if not self.is_online(message.recipient):
+                # The recipient dropped between send and delivery but came
+                # back before the delivery event was cancelled; still lost.
+                message.failed = True
+                self.messages_failed += 1
+                return
             message.delivered_at = self._env.now
             handler(message)
 
-        self._env.schedule(delay, deliver)
+        event = self._env.schedule(delay, deliver)
+        self._in_flight[token] = (message, event)
         self.messages_sent += 1
         self.bytes_sent += size
         return message

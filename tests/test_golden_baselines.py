@@ -1,0 +1,109 @@
+"""Golden-summary regression guard for the synchronous baselines.
+
+The round-engine refactor (dynamics/async PR) is required to be
+*behaviour-preserving by default*: under the ``stable`` scenario every
+synchronous baseline must reproduce its pre-refactor smoke-scale summary
+bit-for-bit.  The values below were captured from the pre-refactor code
+(commit 454c1d3) at smoke scale, seed 42, mnist/noniid, float32 — any
+drift in them means the engine changed observable behaviour for static
+clusters, which is a regression even if all behavioural tests still pass.
+
+The configs pin ``dtype="float32"`` explicitly so the guard holds under
+the CI dtype matrix (``REPRO_DTYPE=float64`` runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import SCALES, evaluation_config
+from repro.fl.runtime import run_experiment
+
+#: Pre-refactor summaries: smoke scale, mnist, noniid, seed 42, float32.
+GOLDEN_SMOKE_SUMMARIES = {
+    "aergia": {
+        "final_accuracy": 0.25,
+        "mean_round_duration_s": 1.0141021664892678,
+        "peak_accuracy": 0.25,
+        "rounds": 2.0,
+        "total_dropped": 0.0,
+        "total_offloads": 4.0,
+        "total_time_s": 2.0282043329785355,
+    },
+    "deadline": {
+        "final_accuracy": 0.20833333333333334,
+        "mean_round_duration_s": 1.4731316759193174,
+        "peak_accuracy": 0.20833333333333334,
+        "rounds": 2.0,
+        "total_dropped": 0.0,
+        "total_offloads": 0.0,
+        "total_time_s": 2.9462633518386347,
+    },
+    "fedavg": {
+        "final_accuracy": 0.20833333333333334,
+        "mean_round_duration_s": 1.4731316759193174,
+        "peak_accuracy": 0.20833333333333334,
+        "rounds": 2.0,
+        "total_dropped": 0.0,
+        "total_offloads": 0.0,
+        "total_time_s": 2.9462633518386347,
+    },
+    "fednova": {
+        "final_accuracy": 0.20833333333333334,
+        "mean_round_duration_s": 1.4731316759193174,
+        "peak_accuracy": 0.20833333333333334,
+        "rounds": 2.0,
+        "total_dropped": 0.0,
+        "total_offloads": 0.0,
+        "total_time_s": 2.9462633518386347,
+    },
+    "fedprox": {
+        "final_accuracy": 0.225,
+        "mean_round_duration_s": 1.4731316759193174,
+        "peak_accuracy": 0.225,
+        "rounds": 2.0,
+        "total_dropped": 0.0,
+        "total_offloads": 0.0,
+        "total_time_s": 2.9462633518386347,
+    },
+    "fedsgd": {
+        "final_accuracy": 0.19166666666666668,
+        "mean_round_duration_s": 0.2892015015294536,
+        "peak_accuracy": 0.225,
+        "rounds": 2.0,
+        "total_dropped": 0.0,
+        "total_offloads": 0.0,
+        "total_time_s": 0.5784030030589072,
+    },
+    "tifl": {
+        "final_accuracy": 0.175,
+        "mean_round_duration_s": 0.8634911477290501,
+        "peak_accuracy": 0.175,
+        "rounds": 2.0,
+        "total_dropped": 0.0,
+        "total_offloads": 0.0,
+        "total_time_s": 7.055610987304624,
+    },
+}
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_SMOKE_SUMMARIES))
+def test_stable_scenario_reproduces_pre_refactor_summary(algorithm):
+    config = evaluation_config(
+        "mnist",
+        algorithm,
+        "noniid",
+        SCALES["smoke"],
+        seed=42,
+        scenario="stable",
+        dtype="float32",
+    )
+    summary = run_experiment(config).summary()
+    expected = GOLDEN_SMOKE_SUMMARIES[algorithm]
+    for key, value in expected.items():
+        # Exact in practice on the reference platform; the tiny tolerance
+        # only absorbs cross-platform libm differences.
+        assert summary[key] == pytest.approx(value, rel=1e-9, abs=1e-12), (
+            algorithm,
+            key,
+        )

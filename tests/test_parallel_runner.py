@@ -59,6 +59,62 @@ class TestConfigHash:
         assert len(digest) == 64
         int(digest, 16)
 
+    def test_covers_dynamics_config(self, smoke_config):
+        """Two configs differing only in their scenario dynamics must never
+        collide — otherwise the result cache would serve a stable-cluster
+        result for a churn run (or vice versa)."""
+        from repro.fl.config import DynamicsConfig
+
+        churny = smoke_config.with_overrides(
+            dynamics=DynamicsConfig(scenario="churn", churn=True)
+        )
+        assert config_hash(churny) != config_hash(smoke_config)
+        # Even a single knob inside the (active) dynamics must change the key.
+        slower_churn = smoke_config.with_overrides(
+            dynamics=DynamicsConfig(scenario="churn", churn=True, mean_offline_s=9.0)
+        )
+        assert config_hash(slower_churn) != config_hash(churny)
+        # The label alone matters too: a scenario rename invalidates cleanly.
+        relabelled = smoke_config.with_overrides(
+            dynamics=DynamicsConfig(scenario="weird")
+        )
+        assert config_hash(relabelled) != config_hash(smoke_config)
+
+    def test_covers_every_field_of_the_scale_profile(self, smoke_config):
+        """The effective scale profile is spread across ExperimentConfig
+        fields; every one of them must be part of the cache key."""
+        perturbations = {
+            "num_clients": 5,
+            "clients_per_round": 2,
+            "rounds": 3,
+            "local_updates": 7,
+            "profile_batches": 3,
+            "train_size": 321,
+            "test_size": 81,
+            "batch_size": 8,
+            "learning_rate": 0.04,
+            "momentum": 0.8,
+            "weight_decay": 1e-4,
+            "fedasync_alpha": 0.5,
+            "fedasync_staleness_power": 0.4,
+            "fedbuff_buffer_size": 2,
+            "async_concurrency": 2,
+            "network_latency_s": 0.02,
+            "network_bandwidth_bytes_per_s": 1e6,
+            "deadline_seconds": 12.0,
+        }
+        # dtype=None hashes as the *effective* process-wide dtype, so the
+        # perturbation must be the opposite of whatever is active.
+        from repro.nn.dtype import resolve_dtype
+
+        perturbations["dtype"] = (
+            "float64" if resolve_dtype(None).name == "float32" else "float32"
+        )
+        base = config_hash(smoke_config)
+        for field_name, value in perturbations.items():
+            tweaked = smoke_config.with_overrides(**{field_name: value})
+            assert config_hash(tweaked) != base, field_name
+
 
 class TestParallelMatchesSerial:
     def test_two_workers_identical_summaries(self, sweep_configs):

@@ -327,3 +327,114 @@ class TestCluster:
         cluster = SimulatedCluster(uniform_speed_profiles(n, rng=np.random.default_rng(n)))
         assert cluster.num_clients == n
         assert len(cluster.client_ids) == n
+
+
+class TestEventCancellationSemantics:
+    """Event.cancel contracts the dynamics engine leans on (peek/pop/FIFO)."""
+
+    def test_cancelled_head_is_skipped_by_peek_time(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 1.0
+        first.cancel()
+        # peek_time must look through the cancelled head to the live event.
+        assert queue.peek_time() == 2.0
+
+    def test_cancelled_events_are_never_popped(self):
+        queue = EventQueue()
+        events = [queue.push(float(t), lambda: None) for t in (1, 2, 3)]
+        events[0].cancel()
+        events[2].cancel()
+        popped = queue.pop()
+        assert popped is events[1]
+        assert queue.pop() is None
+
+    def test_pop_on_fully_cancelled_queue_returns_none(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0):
+            queue.push(t, lambda: None).cancel()
+        assert queue.peek_time() is None
+        assert queue.pop() is None
+        assert len(queue) == 0
+        assert not queue
+
+    def test_cancel_after_peek_still_skips(self):
+        queue = EventQueue()
+        event = queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0  # peek does not consume
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_fifo_tie_break_at_equal_timestamps(self):
+        env = SimulationEnvironment()
+        fired = []
+        for tag in ("a", "b", "c", "d"):
+            env.schedule(1.0, lambda t=tag: fired.append(t))
+        env.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_fifo_tie_break_survives_cancellations(self):
+        env = SimulationEnvironment()
+        fired = []
+        events = [
+            env.schedule(1.0, lambda t=tag: fired.append(t))
+            for tag in ("a", "b", "c", "d", "e")
+        ]
+        events[1].cancel()
+        events[3].cancel()
+        env.run()
+        assert fired == ["a", "c", "e"]
+
+    def test_cancelling_inside_a_callback_affects_later_events(self):
+        env = SimulationEnvironment()
+        fired = []
+        victim = env.schedule(2.0, lambda: fired.append("victim"))
+        env.schedule(1.0, lambda: victim.cancel())
+        env.run()
+        assert fired == []
+
+
+class TestLocalClockRoundTrip:
+    """Offset/drift round-tripping between global and local time."""
+
+    def test_to_global_inverts_now(self):
+        env = SimulationEnvironment()
+        clock = LocalClock(env, offset=3.5, drift=5e-4)
+        env.schedule(7.25, lambda: None)
+        env.run()
+        assert env.now == 7.25
+        local = clock.now()
+        assert clock.to_global(local) == pytest.approx(env.now, abs=1e-12)
+
+    def test_round_trip_for_many_offset_drift_pairs(self):
+        env = SimulationEnvironment()
+        env.schedule(123.456, lambda: None)
+        env.run()
+        rng = np.random.default_rng(99)
+        for _ in range(50):
+            clock = LocalClock(
+                env,
+                offset=float(rng.uniform(-5, 5)),
+                drift=float(rng.uniform(-1e-3, 1e-3)),
+            )
+            assert clock.to_global(clock.now()) == pytest.approx(env.now, rel=1e-12)
+
+    def test_measured_duration_round_trips_through_drift(self):
+        env = SimulationEnvironment()
+        clock = LocalClock(env, offset=-2.0, drift=1e-3)
+        global_duration = 4.0
+        local_duration = clock.measure(global_duration)
+        assert local_duration == pytest.approx(global_duration * 1.001)
+        # Undo the drift scaling: the local measurement maps back exactly.
+        assert local_duration / (1.0 + clock.drift) == pytest.approx(
+            global_duration, rel=1e-12
+        )
+
+    def test_elapsed_matches_measure_between_readings(self):
+        env = SimulationEnvironment()
+        clock = LocalClock(env, offset=1.0, drift=2e-4)
+        start_local = clock.now()
+        env.schedule(3.0, lambda: None)
+        env.run()
+        assert clock.elapsed(start_local) == pytest.approx(clock.measure(3.0), rel=1e-12)
