@@ -12,15 +12,26 @@ pure-Python package:
 * :mod:`repro.core` -- the Aergia contribution (profiling, freezing,
   offloading, scheduling, SGX-enclave similarity),
 * :mod:`repro.experiments` -- the harness regenerating every figure and
-  table of the paper's evaluation.
+  table of the paper's evaluation,
+* :mod:`repro.registry` -- central plugin registries (algorithms,
+  scenarios, scales, datasets) third-party code extends with decorators,
+* :mod:`repro.api` -- the public programmatic API: fluent experiment
+  specs, streaming runs and the persistent RunStore.
 
 Quickstart::
 
-    from repro.fl import ExperimentConfig, run_experiment
+    import repro.api as api
 
-    config = ExperimentConfig(algorithm="aergia", num_clients=8, rounds=3)
-    result = run_experiment(config)
-    print(result.summary())
+    handle = (
+        api.experiment("aergia")
+        .scenario("churn").scale("smoke").seed(3)
+        .run(store="results/")
+    )
+    for record in handle.stream():          # rounds as they finalize
+        print(record.round_number, record.test_accuracy)
+    print(handle.summary())
+
+    print(api.Results.open("results/").render_summary())
 """
 
 __version__ = "1.0.0"

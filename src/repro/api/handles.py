@@ -1,0 +1,320 @@
+"""Run and sweep handles: streaming execution + store integration.
+
+:class:`RunHandle` is what :meth:`repro.api.ExperimentSpec.run` (and
+:func:`repro.api.run`) returns.  Instead of the historical
+block-until-done-only contract, the handle exposes the run as a *stream*:
+
+>>> handle = repro.api.experiment("fedavg").scale("smoke").run()
+>>> for record in handle.stream():          # RoundRecords as rounds finalize
+...     print(record.round_number, record.test_accuracy)
+>>> handle.result().summary()               # the completed ExperimentResult
+
+The stream is backed by the event-driven round engine of PR 3: the handle
+registers a round listener on the federator's result and pumps the
+simulation's event queue one event at a time, yielding each
+:class:`~repro.fl.metrics.RoundRecord` the moment the engine finalizes the
+round — for the synchronous and the asynchronous (virtual-round)
+federators alike.  Driving the queue to exhaustion this way executes the
+exact same event sequence as ``cluster.run()``, so summaries stay
+bit-for-bit identical to the classic blocking path.
+
+:func:`sweep` is the batch entry point: it accepts labelled configs (or
+specs), serves already-present cells from the :class:`RunStore`, routes the
+rest through the execution policy of :mod:`repro.experiments.parallel`
+(process pool + result cache), and persists every newly computed result.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+from repro.api.spec import ExperimentSpec
+from repro.api.store import RunStore, StoredRun, default_store, run_key
+from repro.experiments.parallel import run_configs_parallel, run_suite
+from repro.experiments.runner import SuiteResult
+from repro.fl.config import ExperimentConfig
+from repro.fl.metrics import ExperimentResult, RoundRecord
+
+RoundCallback = Callable[[RoundRecord], None]
+StoreLike = Union[RunStore, str, Path, None]
+
+
+def _coerce_store(store: StoreLike, use_default: bool = True) -> Optional[RunStore]:
+    if store is None:
+        return default_store() if use_default else None
+    if isinstance(store, RunStore):
+        return store
+    return RunStore(store)
+
+
+class RunHandle:
+    """Handle on a single experiment run.
+
+    * :meth:`stream` — iterator of :class:`RoundRecord` as rounds finalize.
+    * :meth:`result` — drive the run to completion, return the result.
+    * :meth:`summary` — the flat summary row of the completed run.
+
+    With a ``store``, per-round records are appended to the run's JSONL
+    file *as they stream* and the manifest is finalized on completion; when
+    the store already holds a complete run of the same configuration, the
+    handle replays it from disk (``loaded_from_store`` is then ``True``)
+    without recomputing anything.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        *,
+        store: StoreLike = None,
+        on_round: Optional[RoundCallback] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self.config = config
+        self.config_hash = run_key(config)
+        self.label = label or f"{config.dataset}/{config.algorithm}"
+        self.store = _coerce_store(store)
+        self._listeners: List[RoundCallback] = [on_round] if on_round is not None else []
+        self._result: Optional[ExperimentResult] = None
+        self._wall_seconds = 0.0
+        self._iterator: Optional[Iterator[RoundRecord]] = None
+        # NB: `is not None` — RunStore has __len__, so an empty store is falsy.
+        self._stored: Optional[StoredRun] = (
+            self.store.get(config) if self.store is not None else None
+        )
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def loaded_from_store(self) -> bool:
+        """Whether this configuration was already present in the store."""
+        return self._stored is not None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock spent computing (0.0 for store replays)."""
+        return self._wall_seconds
+
+    def add_round_listener(self, listener: RoundCallback) -> None:
+        """Register a callback fired for every streamed round."""
+        self._listeners.append(listener)
+
+    def _notify(self, record: RoundRecord) -> None:
+        for listener in self._listeners:
+            listener(record)
+
+    # ------------------------------------------------------------- execution
+    def stream(self) -> Iterator[RoundRecord]:
+        """The run as an iterator of finalized rounds (single underlying
+        stream: repeated calls resume the same iteration)."""
+        if self._iterator is None:
+            self._iterator = self._replay() if self._stored is not None else self._execute()
+        return self._iterator
+
+    def _replay(self) -> Iterator[RoundRecord]:
+        result = self._stored.load_result()
+        for record in result.rounds:
+            self._notify(record)
+            yield record
+        self._result = result
+
+    def _execute(self) -> Iterator[RoundRecord]:
+        from repro.fl.runtime import build_experiment
+
+        start = time.perf_counter()
+        experiment = build_experiment(self.config)
+        pending: deque = deque()
+        experiment.federator.result.add_round_listener(pending.append)
+        writer = (
+            self.store.start_run(self.config, label=self.label)
+            if self.store is not None
+            else None
+        )
+        try:
+            experiment.federator.start()
+            env = experiment.cluster.env
+            while True:
+                while pending:
+                    record = pending.popleft()
+                    if writer is not None:
+                        writer.append(record)
+                    self._notify(record)
+                    yield record
+                if not env.step():
+                    break
+            result = experiment.federator.result
+            self._result = result
+            self._wall_seconds = time.perf_counter() - start
+            if writer is not None:
+                writer.finalize(result, wall_seconds=self._wall_seconds)
+                writer = None
+        finally:
+            if writer is not None:  # stream abandoned mid-run
+                writer.abort()
+
+    def result(self) -> ExperimentResult:
+        """Drive the run to completion and return its result."""
+        for _ in self.stream():
+            pass
+        assert self._result is not None
+        return self._result
+
+    def summary(self) -> Dict[str, float]:
+        """The completed run's flat summary row."""
+        return self.result().summary()
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return self.stream()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("stored" if self.loaded_from_store else "pending")
+        return f"RunHandle({self.label!r}, {state}, {self.config_hash[:12]})"
+
+
+def run(
+    config: Union[ExperimentConfig, ExperimentSpec],
+    *,
+    store: StoreLike = None,
+    on_round: Optional[RoundCallback] = None,
+    label: Optional[str] = None,
+) -> RunHandle:
+    """Run one experiment (config or fluent spec), returning its handle."""
+    if isinstance(config, ExperimentSpec):
+        label = label or config.run_label
+        config = config.build()
+    return RunHandle(config, store=store, on_round=on_round, label=label)
+
+
+class SweepHandle:
+    """Results of a batch of runs executed through :func:`sweep`.
+
+    Wraps the familiar :class:`~repro.experiments.runner.SuiteResult`
+    (``.suite``) and records which cells were served from the persistent
+    store (``.store_hits``) versus the execution-policy cache
+    (``.cache_hits``).
+    """
+
+    def __init__(
+        self,
+        suite: SuiteResult,
+        store: Optional[RunStore] = None,
+        store_hits: Iterable[str] = (),
+    ) -> None:
+        self.suite = suite
+        self.store = store
+        self.store_hits = list(store_hits)
+
+    @property
+    def results(self) -> Dict[str, ExperimentResult]:
+        return self.suite.results
+
+    @property
+    def cache_hits(self) -> List[str]:
+        return self.suite.cache_hits
+
+    def labels(self) -> Iterable[str]:
+        return self.suite.labels()
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        return self.suite.summaries()
+
+    def total_wall_seconds(self) -> float:
+        return self.suite.total_wall_seconds()
+
+    def __getitem__(self, label: str) -> ExperimentResult:
+        return self.suite[label]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.suite
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepHandle({len(self.suite.results)} runs, {len(self.store_hits)} store hits)"
+
+
+def _normalise_configs(
+    configs: Union[
+        Mapping[str, Union[ExperimentConfig, ExperimentSpec]],
+        Iterable[ExperimentSpec],
+    ],
+) -> Dict[str, ExperimentConfig]:
+    normalised: Dict[str, ExperimentConfig] = {}
+    if isinstance(configs, Mapping):
+        items = configs.items()
+    else:
+        specs = list(configs)
+        items = [(spec.run_label, spec) for spec in specs]
+    for label, config in items:
+        if isinstance(config, ExperimentSpec):
+            config = config.build()
+        if label in normalised:
+            raise ValueError(f"duplicate sweep label {label!r}")
+        normalised[label] = config
+    return normalised
+
+
+def sweep(
+    configs: Union[
+        Mapping[str, Union[ExperimentConfig, ExperimentSpec]],
+        Iterable[ExperimentSpec],
+    ],
+    *,
+    store: StoreLike = None,
+    workers: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+    progress: Optional[Callable[[str, ExperimentResult], None]] = None,
+) -> SweepHandle:
+    """Run a labelled batch of experiments, persisting through the store.
+
+    Cells whose exact configuration is already complete in the store are
+    loaded from disk (listed in ``SweepHandle.store_hits``); the rest run
+    through the parallel sweep infrastructure — honouring the active
+    execution policy (``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` or the CLI's
+    ``--workers`` / ``--cache-dir``) unless ``workers``/``cache_dir`` are
+    given explicitly — and are then persisted.
+    """
+    normalised = _normalise_configs(configs)
+    run_store = _coerce_store(store)
+
+    results: Dict[str, ExperimentResult] = {}
+    walls: Dict[str, float] = {}
+    store_hits: List[str] = []
+    pending: Dict[str, ExperimentConfig] = {}
+    for label, config in normalised.items():
+        stored = run_store.get(config) if run_store is not None else None
+        if stored is not None:
+            result = stored.load_result()
+            results[label] = result
+            walls[label] = 0.0
+            store_hits.append(label)
+            if progress is not None:
+                progress(label, result)
+        else:
+            pending[label] = config
+
+    cache_hits: List[str] = []
+    if pending:
+        if workers is None and cache_dir is None:
+            executed = run_suite(pending, progress=progress)
+        else:
+            executed = run_configs_parallel(
+                pending, workers=workers, cache_dir=cache_dir, progress=progress
+            )
+        cache_hits = executed.cache_hits
+        for label, config in pending.items():
+            result = executed.results[label]
+            wall = executed.wall_seconds[label]
+            results[label] = result
+            walls[label] = wall
+            if run_store is not None:
+                run_store.put(config, result, wall_seconds=wall, label=label)
+
+    suite = SuiteResult(cache_hits=cache_hits)
+    for label in normalised:
+        suite.results[label] = results[label]
+        suite.wall_seconds[label] = walls[label]
+    return SweepHandle(suite, store=run_store, store_hits=store_hits)

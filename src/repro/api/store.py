@@ -1,0 +1,488 @@
+"""Persistent run storage: typed manifests + per-round JSONL records.
+
+Every run executed through :mod:`repro.api` can be persisted into a
+:class:`RunStore` — a results directory with one sub-directory per run,
+keyed by the run's :func:`run_key` (a content hash of its configuration)::
+
+    results/
+      <config_hash>/
+        manifest.json     # typed manifest: config hash, scenario, dtype,
+                          # source revision, status, summary, full config
+        rounds.jsonl      # one JSON object per RoundRecord, appended as
+                          # rounds finalize (so a crash leaves the rounds
+                          # recorded so far on disk)
+
+The manifest is written twice: once when the run starts (``status:
+"running"``) and once when it completes (``status: "complete"``, now
+including the flat summary and wall-clock).  :class:`Results` is the query
+facade: open a results directory, filter runs by algorithm / dataset /
+scenario, reload full :class:`repro.fl.metrics.ExperimentResult` objects
+(bit-for-bit summaries — JSON round-trips Python floats exactly) and render
+report tables from the store alone, with no in-memory results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+import hashlib
+
+import repro
+from repro.experiments.parallel import _canonical as _jsonable
+from repro.fl.config import ExperimentConfig
+from repro.fl.metrics import ExperimentResult, RoundRecord
+from repro.nn.dtype import resolve_dtype
+
+#: Bumped whenever the on-disk layout of manifests/round records changes,
+#: or when simulation semantics change such that replaying an old stored
+#: run would silently misrepresent the current code's behaviour.
+STORE_FORMAT = 1
+
+
+def run_key(config: ExperimentConfig) -> str:
+    """The store key of a configuration: a sha256 over its canonical JSON.
+
+    Unlike the result cache's :func:`repro.experiments.parallel.config_hash`
+    — which deliberately salts in the package version and cache format so
+    stale cache entries die across releases — the store key depends only on
+    the configuration (with the dtype resolved) and :data:`STORE_FORMAT`.
+    The RunStore is an *archive*: a version bump must not orphan weeks of
+    persisted runs, and provenance lives in each manifest's ``version`` /
+    ``source_revision`` fields instead.
+    """
+    canonical = _jsonable(dataclasses.asdict(config))
+    # A config with dtype=None resolves to the process default at build
+    # time, so the effective dtype is part of the identity (results differ
+    # across dtypes even though simulated times do not).
+    canonical["dtype"] = resolve_dtype(config.dtype).name
+    payload = {"store_format": STORE_FORMAT, "config": canonical}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+MANIFEST_NAME = "manifest.json"
+ROUNDS_NAME = "rounds.jsonl"
+
+_source_revision_cache: Optional[str] = None
+_source_revision_known = False
+
+
+def _source_revision() -> Optional[str]:
+    """Best-effort ``git describe`` of the source tree (None outside git)."""
+    global _source_revision_cache, _source_revision_known
+    if _source_revision_known:
+        return _source_revision_cache
+    _source_revision_known = True
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            _source_revision_cache = out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        _source_revision_cache = None
+    return _source_revision_cache
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class RunWriter:
+    """Incrementally persists one run: manifest first, rounds as they come.
+
+    Created by :meth:`RunStore.start_run`; used by the streaming
+    :class:`repro.api.handles.RunHandle` (append per round) and by
+    :meth:`RunStore.put` (bulk write of a finished result).
+    """
+
+    def __init__(self, store: "RunStore", config: ExperimentConfig, label: Optional[str] = None):
+        self.store = store
+        self.config = config
+        self.config_hash = run_key(config)
+        self.label = label or f"{config.dataset}/{config.algorithm}"
+        self.path = store.run_dir(self.config_hash)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._rounds_path = self.path / ROUNDS_NAME
+        self._num_rounds = 0
+        self._manifest = {
+            "format": STORE_FORMAT,
+            "version": repro.__version__,
+            "source_revision": _source_revision(),
+            "config_hash": self.config_hash,
+            "label": self.label,
+            "algorithm": config.algorithm,
+            "dataset": config.dataset,
+            "partition": config.partition,
+            "scenario": config.dynamics.scenario,
+            "seed": config.seed,
+            "dtype": resolve_dtype(config.dtype).name,
+            "created_at": time.time(),
+            "status": "running",
+            "config": _jsonable(dataclasses.asdict(config)),
+        }
+        self._write_manifest()
+        # Truncate any stale rounds from a previous (crashed) attempt.
+        self._rounds_file = open(self._rounds_path, "w")
+
+    def _write_manifest(self) -> None:
+        _atomic_write(
+            self.path / MANIFEST_NAME, json.dumps(self._manifest, sort_keys=True, indent=1)
+        )
+
+    def append(self, record: RoundRecord) -> None:
+        """Persist one finalized round (flushed so crashes lose nothing)."""
+        self._rounds_file.write(
+            json.dumps(_jsonable(dataclasses.asdict(record)), sort_keys=True) + "\n"
+        )
+        self._rounds_file.flush()
+        self._num_rounds += 1
+
+    def finalize(self, result: ExperimentResult, wall_seconds: float = 0.0) -> "StoredRun":
+        """Mark the run complete: summary, result metadata, wall-clock."""
+        if self._num_rounds == 0 and result.rounds:
+            for record in result.rounds:
+                self.append(record)
+        self._rounds_file.close()
+        self._manifest.update(
+            status="complete",
+            completed_at=time.time(),
+            wall_seconds=float(wall_seconds),
+            num_rounds=len(result.rounds),
+            summary=_jsonable(result.summary()),
+            result={
+                "algorithm": result.algorithm,
+                "dataset": result.dataset,
+                "config": _jsonable(result.config),
+                "setup_time": result.setup_time,
+            },
+        )
+        self._write_manifest()
+        return StoredRun(self.path)
+
+    def abort(self) -> None:
+        """Mark the run as incomplete (stream abandoned mid-flight)."""
+        if not self._rounds_file.closed:
+            self._rounds_file.close()
+        self._manifest["status"] = "incomplete"
+        self._write_manifest()
+
+
+class StoredRun:
+    """One persisted run: lazy access to its manifest, rounds and result."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.manifest: Dict[str, Any] = json.loads((self.path / MANIFEST_NAME).read_text())
+
+    # ------------------------------------------------------------ properties
+    @property
+    def config_hash(self) -> str:
+        return str(self.manifest["config_hash"])
+
+    @property
+    def label(self) -> str:
+        return str(self.manifest.get("label", self.config_hash[:12]))
+
+    @property
+    def status(self) -> str:
+        return str(self.manifest.get("status", "unknown"))
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete"
+
+    @property
+    def algorithm(self) -> str:
+        return str(self.manifest["algorithm"])
+
+    @property
+    def dataset(self) -> str:
+        return str(self.manifest["dataset"])
+
+    @property
+    def scenario(self) -> str:
+        return str(self.manifest.get("scenario", "stable"))
+
+    @property
+    def summary(self) -> Dict[str, object]:
+        """The flat summary recorded at completion (empty while running)."""
+        return dict(self.manifest.get("summary", {}))
+
+    # --------------------------------------------------------------- loading
+    def rounds(self) -> List[RoundRecord]:
+        """Parse the per-round JSONL records."""
+        records: List[RoundRecord] = []
+        path = self.path / ROUNDS_NAME
+        if not path.exists():
+            return records
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(RoundRecord(**json.loads(line)))
+        return records
+
+    def load_result(self) -> ExperimentResult:
+        """Reconstruct the full :class:`ExperimentResult` from disk.
+
+        The reloaded result's :meth:`~ExperimentResult.summary` is bitwise
+        identical to the in-memory one: every field is a Python float and
+        ``json`` round-trips those exactly.  A rounds file that disagrees
+        with the manifest's recorded round count (deleted, truncated,
+        partially synced) raises instead of silently replaying a shorter
+        run.
+        """
+        meta = self.manifest.get("result")
+        if meta is None:
+            raise ValueError(
+                f"run {self.config_hash} is not complete (status: {self.status})"
+            )
+        rounds = self.rounds()
+        expected = self.manifest.get("num_rounds")
+        if expected is not None and len(rounds) != int(expected):
+            raise ValueError(
+                f"run {self.config_hash} is corrupt: manifest records "
+                f"{expected} rounds but {ROUNDS_NAME} holds {len(rounds)}"
+            )
+        return ExperimentResult(
+            algorithm=str(meta["algorithm"]),
+            dataset=str(meta["dataset"]),
+            config=dict(meta["config"]),
+            setup_time=float(meta["setup_time"]),
+            rounds=rounds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StoredRun({self.label!r}, {self.status}, {self.config_hash[:12]})"
+
+
+class RunStore:
+    """A directory of persisted runs keyed by configuration hash."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def run_dir(self, key: str) -> Path:
+        return self.root / key
+
+    # --------------------------------------------------------------- writing
+    def start_run(self, config: ExperimentConfig, label: Optional[str] = None) -> RunWriter:
+        """Open a writer for a new run (overwrites an incomplete attempt)."""
+        return RunWriter(self, config, label=label)
+
+    def put(
+        self,
+        config: ExperimentConfig,
+        result: ExperimentResult,
+        wall_seconds: float = 0.0,
+        label: Optional[str] = None,
+    ) -> StoredRun:
+        """Persist an already-computed result in one shot."""
+        writer = self.start_run(config, label=label)
+        return writer.finalize(result, wall_seconds=wall_seconds)
+
+    # --------------------------------------------------------------- reading
+    def get(self, config: Union[ExperimentConfig, str]) -> Optional[StoredRun]:
+        """The *complete* stored run for a config (or hash), else ``None``.
+
+        This is the already-present check: a second run of the same spec
+        finds its predecessor here and is served from disk instead of being
+        recomputed.
+        """
+        key = config if isinstance(config, str) else run_key(config)
+        path = self.run_dir(key)
+        if not (path / MANIFEST_NAME).exists():
+            return None
+        try:
+            run = StoredRun(path)
+        except (OSError, ValueError):
+            return None
+        if run.manifest.get("format") != STORE_FORMAT or not run.complete:
+            return None
+        # A rounds file inconsistent with the manifest means the run is
+        # corrupt (deleted/truncated): treat it as absent so the caller
+        # re-executes rather than replaying a short result.
+        expected = run.manifest.get("num_rounds")
+        if expected is not None:
+            rounds_path = path / ROUNDS_NAME
+            try:
+                with open(rounds_path) as handle:
+                    on_disk = sum(1 for line in handle if line.strip())
+            except OSError:
+                return None
+            if on_disk != int(expected):
+                return None
+        return run
+
+    def __contains__(self, config: object) -> bool:
+        if not isinstance(config, (ExperimentConfig, str)):
+            return False
+        return self.get(config) is not None
+
+    def runs(self) -> List[StoredRun]:
+        """Every stored run (any status), ordered by creation time."""
+        found: List[StoredRun] = []
+        for manifest in self.root.glob(f"*/{MANIFEST_NAME}"):
+            try:
+                found.append(StoredRun(manifest.parent))
+            except (OSError, ValueError):
+                continue
+        found.sort(key=lambda run: (run.manifest.get("created_at", 0.0), run.label))
+        return found
+
+    def __len__(self) -> int:
+        return len(self.runs())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunStore({str(self.root)!r})"
+
+
+def default_store() -> Optional[RunStore]:
+    """The store named by ``REPRO_RESULTS_DIR``, or ``None`` when unset.
+
+    When the environment variable is set, every :func:`repro.api.run` /
+    :func:`repro.api.sweep` persists its results there by default — which
+    makes the figure functions and benchmarks thin clients of the store.
+    """
+    root = os.environ.get("REPRO_RESULTS_DIR", "").strip()
+    return RunStore(root) if root else None
+
+
+class Results:
+    """Query facade over a results directory written by :class:`RunStore`.
+
+    >>> results = Results.open("results/")
+    >>> results.labels()
+    >>> results.summaries(algorithm="aergia")
+    >>> results.load("mnist/aergia").rounds
+    """
+
+    def __init__(self, store: Union[RunStore, str, Path]) -> None:
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        #: Point-in-time snapshot of the directory scan: the manifests are
+        #: parsed once per Results instance, however many queries/renders
+        #: follow (and concurrent writers cannot skew paired scans).  Use
+        #: :meth:`refresh` (or a fresh ``Results.open``) to pick up new runs.
+        self._snapshot: Optional[List[StoredRun]] = None
+
+    @classmethod
+    def open(cls, root: Union[str, Path, RunStore]) -> "Results":
+        """Open a results directory for querying."""
+        return cls(root)
+
+    def refresh(self) -> "Results":
+        """Drop the cached directory snapshot (picks up new runs)."""
+        self._snapshot = None
+        return self
+
+    def _all_runs(self) -> List[StoredRun]:
+        if self._snapshot is None:
+            self._snapshot = self.store.runs()
+        return self._snapshot
+
+    # -------------------------------------------------------------- querying
+    def runs(
+        self,
+        *,
+        algorithm: Optional[str] = None,
+        dataset: Optional[str] = None,
+        scenario: Optional[str] = None,
+        complete_only: bool = True,
+        predicate: Optional[Callable[[StoredRun], bool]] = None,
+    ) -> List[StoredRun]:
+        """Stored runs matching the given filters, in creation order."""
+        matches: List[StoredRun] = []
+        for run in self._all_runs():
+            if complete_only and not run.complete:
+                continue
+            if algorithm is not None and run.algorithm != algorithm:
+                continue
+            if dataset is not None and run.dataset != dataset:
+                continue
+            if scenario is not None and run.scenario != scenario:
+                continue
+            if predicate is not None and not predicate(run):
+                continue
+            matches.append(run)
+        return matches
+
+    def __iter__(self) -> Iterator[StoredRun]:
+        return iter(self.runs())
+
+    def __len__(self) -> int:
+        return len(self.runs())
+
+    def _labelled(self, **filters: object) -> List[tuple]:
+        """(label, run) pairs from a *single* directory scan, with duplicate
+        labels disambiguated by a short hash suffix."""
+        labelled: List[tuple] = []
+        seen: set = set()
+        for run in self.runs(**filters):  # type: ignore[arg-type]
+            label = run.label
+            if label in seen:
+                label = f"{label}@{run.config_hash[:8]}"
+            seen.add(run.label)
+            labelled.append((label, run))
+        return labelled
+
+    def labels(self, **filters: object) -> List[str]:
+        """Unique display labels (de-duplicated with a short hash suffix)."""
+        return [label for label, _ in self._labelled(**filters)]
+
+    def summaries(self, **filters: object) -> Dict[str, Dict[str, object]]:
+        """Per-run flat summaries keyed by label (from manifests alone)."""
+        return {label: run.summary for label, run in self._labelled(**filters)}
+
+    def load(self, label_or_hash: str) -> ExperimentResult:
+        """Reload one run's full result by label or configuration hash."""
+        stored = self.store.get(label_or_hash)
+        if stored is not None:
+            return stored.load_result()
+        for label, run in self._labelled(complete_only=True):
+            if label == label_or_hash or run.label == label_or_hash:
+                return run.load_result()
+        known = ", ".join(self.labels()) or "(store is empty)"
+        raise KeyError(f"no stored run {label_or_hash!r}; known: {known}")
+
+    # ------------------------------------------------------------- rendering
+    def render_summary(self, title: str = "", **filters: object) -> str:
+        """Summary table of the stored runs (a figure from the store alone)."""
+        from repro.experiments.report import render_summaries
+
+        summaries = {
+            label: summary for label, summary in self.summaries(**filters).items() if summary
+        }
+        return render_summaries(
+            summaries, title=title or f"stored results: {self.store.root}"
+        )
+
+    def render_round_durations(self, **filters: object) -> str:
+        """Figure-8-style round-duration table rebuilt from the JSONL records."""
+        from repro.experiments.report import format_table
+
+        labelled = self._labelled(**filters)
+        results = [run.load_result() for _, run in labelled]
+        if not results:
+            return "no stored runs to render"
+        rows = [
+            [label, result.mean_round_duration(), float(result.num_rounds)]
+            for (label, _), result in zip(labelled, results)
+        ]
+        return format_table(
+            headers=["label", "mean_round_duration_s", "rounds"],
+            rows=rows,
+            title="Round durations (re-rendered from the store)",
+        )

@@ -13,8 +13,10 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.fl.federator import BaseFederator, RoundState
+from repro.registry import register_federator
 
 
+@register_federator("deadline")
 class DeadlineFederator(BaseFederator):
     """FedAvg with a per-round deadline after which late clients are dropped.
 

@@ -46,6 +46,7 @@ from repro.fl.federator import BaseFederator
 from repro.fl.messages import MessageKind, TrainingResult
 from repro.fl.metrics import RoundRecord
 from repro.nn.model import SplitCNN
+from repro.registry import register_federator
 from repro.simulation.cluster import FEDERATOR_ID, SimulatedCluster
 from repro.simulation.network import Message, weights_wire_bytes
 
@@ -241,6 +242,7 @@ class AsyncFederatorBase(BaseFederator):
         self._window_dropped = []
 
 
+@register_federator("fedasync")
 class FedAsyncFederator(AsyncFederatorBase):
     """FedAsync: apply every update on arrival, discounted by staleness."""
 

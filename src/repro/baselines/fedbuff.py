@@ -26,8 +26,10 @@ import numpy as np
 from repro.baselines.fedasync import AsyncFederatorBase, DispatchRecord
 from repro.fl.aggregation import flatten_weights
 from repro.fl.messages import TrainingResult
+from repro.registry import register_federator
 
 
+@register_federator("fedbuff")
 class FedBuffFederator(AsyncFederatorBase):
     """Asynchronous federator aggregating buffered, staleness-weighted deltas."""
 

@@ -22,10 +22,12 @@ from repro.fl.aggregation import (
     weight_spec,
 )
 from repro.fl.federator import BaseFederator, RoundState
+from repro.registry import register_federator
 
 Weights = Dict[str, np.ndarray]
 
 
+@register_federator("fednova")
 class FedNovaFederator(BaseFederator):
     """Federator applying FedNova's normalised aggregation rule."""
 

@@ -12,8 +12,10 @@ federator itself is therefore identical to FedAvg apart from its name.
 from __future__ import annotations
 
 from repro.fl.federator import BaseFederator
+from repro.registry import register_federator
 
 
+@register_federator("fedprox")
 class FedProxFederator(BaseFederator):
     """FedAvg-style federator whose clients train with the proximal term."""
 

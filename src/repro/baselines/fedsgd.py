@@ -10,8 +10,10 @@ paper's evaluation focuses on the multi-step algorithms.
 from __future__ import annotations
 
 from repro.fl.federator import BaseFederator
+from repro.registry import register_federator
 
 
+@register_federator("fedsgd")
 class FedSGDFederator(BaseFederator):
     """FedAvg with exactly one local update per client per round."""
 

@@ -29,10 +29,12 @@ import numpy as np
 from repro.fl.config import ExperimentConfig
 from repro.fl.federator import BaseFederator
 from repro.fl.selection import select_random
+from repro.registry import register_federator
 from repro.nn.model import SplitCNN
 from repro.simulation.cluster import SimulatedCluster
 
 
+@register_federator("tifl")
 class TiFLFederator(BaseFederator):
     """Tier-based client selection."""
 

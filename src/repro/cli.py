@@ -4,20 +4,30 @@
 experiment harness without writing any Python:
 
 ``repro run``
-    One experiment (algorithm x dataset x partition) at a chosen scale.
+    One experiment (algorithm x dataset x partition) at a chosen scale,
+    streamed round by round through :mod:`repro.api`.
 ``repro sweep``
     A dataset x algorithm grid, executed through the parallel sweep runner
-    (:mod:`repro.experiments.parallel`) with optional result caching.
+    with optional result caching and run persistence.
 ``repro figures``
     Regenerate one or more figures/tables of the paper and print their
     text renderings.
+``repro report``
+    Re-render summary tables from a persisted results directory alone
+    (see ``--results-dir`` / :class:`repro.api.RunStore`).
 ``repro bench``
     Time the same sweep serially and in parallel, verify the summaries
     are identical, and report the speedup.
 
 Every subcommand accepts ``--scale {smoke,bench,full}`` (defaulting to the
 ``REPRO_SCALE`` environment variable) and the sweep-shaped ones accept
-``--workers`` and ``--cache-dir``.
+``--workers``, ``--cache-dir`` and ``--results-dir``.
+
+The CLI is a thin consumer of :mod:`repro.api`: every name it accepts
+(``--algorithm``, ``--scenario``, ``--dataset``, ``--scale``) comes from
+the central registries in :mod:`repro.registry`, so the help text, the
+``repro list`` catalogue and the library's own error messages can never
+enumerate different sets.
 """
 
 from __future__ import annotations
@@ -28,11 +38,11 @@ import sys
 import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+import repro.api as api
 from repro.experiments.parallel import (
     configure,
     resolve_workers,
     run_configs_parallel,
-    run_suite,
 )
 from repro.experiments.report import render_summaries, render_table1
 from repro.experiments.runner import run_configs
@@ -43,9 +53,9 @@ from repro.experiments.workloads import (
     baseline_algorithms,
     evaluation_config,
     known_datasets,
-    scenario_description,
 )
 from repro.fl.runtime import available_algorithms
+from repro.registry import load_plugins, registries
 
 
 # ---------------------------------------------------------------------------
@@ -144,6 +154,18 @@ def _apply_dtype(args: argparse.Namespace) -> None:
         set_compute_dtype(args.dtype)
 
 
+def _apply_results_dir(args: argparse.Namespace) -> None:
+    """Make an explicit --results-dir the process-wide default store.
+
+    Routing through the environment means every sweep in the process —
+    including the figure functions, which take no store argument — persists
+    to (and replays from) the same RunStore via
+    :func:`repro.api.default_store`.
+    """
+    if getattr(args, "results_dir", None):
+        os.environ["REPRO_RESULTS_DIR"] = args.results_dir
+
+
 def _add_scenario_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scenario",
@@ -170,6 +192,14 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="on-disk result cache; already-computed cells are loaded, not re-run "
         "(default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent RunStore: every run writes a manifest + per-round JSONL "
+        "there, and already-stored runs are replayed from disk "
+        "(default: $REPRO_RESULTS_DIR; see `repro report`)",
     )
 
 
@@ -279,6 +309,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dtype_flag(fig_p)
     _add_execution_flags(fig_p)
 
+    report_p = sub.add_parser(
+        "report",
+        help="re-render summaries from a persisted results directory",
+        description="Render summary and round-duration tables from a RunStore "
+        "written by `repro run/sweep --results-dir` (or repro.api) — entirely "
+        "from disk, with no experiment execution.",
+    )
+    report_p.add_argument(
+        "results_dir",
+        metavar="RESULTS_DIR",
+        help="results directory written by --results-dir / repro.api.RunStore",
+    )
+    report_p.add_argument("--algorithm", default=None, help="only runs of this algorithm")
+    report_p.add_argument("--dataset", default=None, help="only runs on this dataset")
+    report_p.add_argument("--scenario", default=None, help="only runs of this scenario")
+
     bench_p = sub.add_parser(
         "bench",
         help="time serial vs parallel execution of the same sweep",
@@ -356,23 +402,47 @@ def _grid_configs(
     }
 
 
+#: Listing header -> the CLI flag that accepts the registry's names.
+_REGISTRY_FLAGS = {
+    "algorithms": "repro run/sweep --algorithm",
+    "scenarios": "repro run/sweep --scenario",
+    "datasets": "repro run/sweep --dataset",
+    "scales": "--scale",
+}
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("algorithms (repro run/sweep --algorithm):")
-    for name in available_algorithms():
-        print(f"  {name}")
-    print("\nscenarios (repro run/sweep --scenario):")
-    for name in available_scenarios():
-        print(f"  {name:<16} {scenario_description(name)}")
-    print("\ndatasets (repro run/sweep --dataset):")
-    for name in known_datasets():
-        print(f"  {name}")
-    print("\nscales (--scale):")
-    for name in sorted(SCALES):
-        profile = SCALES[name]
-        print(
-            f"  {name:<8} {profile.num_clients} clients, {profile.rounds} rounds, "
-            f"{profile.local_updates} local updates, {profile.train_size} train samples"
-        )
+    """Enumerate every plugin registry with its registration metadata.
+
+    Rendered straight from :func:`repro.registry.registries`, so anything a
+    third party registers (federators, scenarios, scales, datasets) shows
+    up here without CLI changes — and lazy entries are listed without
+    importing their provider modules.
+    """
+    first = True
+    for listing, registry in registries().items():
+        if not first:
+            print()
+        first = False
+        print(f"{listing} ({_REGISTRY_FLAGS.get(listing, listing)}):")
+        for entry in registry.entries():
+            description = entry.description
+            extras = []
+            if listing == "scales":
+                # entry.obj, not SCALES[...]: listing must not import lazy
+                # providers, and third-party scales need not be ScaleProfiles.
+                profile = entry.obj
+                if profile is not None and hasattr(profile, "num_clients"):
+                    extras.append(
+                        f"{profile.num_clients} clients, {profile.rounds} rounds, "
+                        f"{profile.local_updates} local updates, "
+                        f"{profile.train_size} train samples"
+                    )
+            if listing == "datasets" and "architecture" in entry.metadata:
+                extras.append(f"architecture: {entry.metadata['architecture']}")
+            if extras:
+                description = f"{description} ({'; '.join(extras)})" if description else "; ".join(extras)
+            print(f"  {entry.name:<16} {description}".rstrip())
     print("\nfigures (repro figures):")
     print("  " + ", ".join(FIGURE_NAMES + ("all",)))
     return 0
@@ -381,32 +451,61 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
     _apply_dtype(args)
-    overrides = {"dtype": args.dtype}
-    if args.rounds is not None:
-        overrides["rounds"] = args.rounds
-    config = evaluation_config(
-        args.dataset,
-        args.algorithm,
-        args.partition,
-        scale,
-        seed=args.seed,
-        scenario=args.scenario,
-        **overrides,
+    _apply_results_dir(args)
+    spec = (
+        api.experiment(args.algorithm)
+        .dataset(args.dataset)
+        .partition(args.partition)
+        .scale(args.scale)
+        .scenario(args.scenario)
+        .seed(args.seed)
+        .override(dtype=args.dtype)
     )
-    # A single config executes inline even in the parallel path, so the
-    # shared --workers default ("one per CPU") is honest here too.
-    configure(workers=args.workers, cache_dir=args.cache_dir)
-    start = time.perf_counter()
-    suite = run_suite({args.algorithm: config})
-    elapsed = time.perf_counter() - start
+    if args.rounds is not None:
+        spec = spec.rounds(args.rounds)
+
+    if args.cache_dir or os.environ.get("REPRO_CACHE_DIR"):
+        # Cache path: api.sweep consults the ResultCache exactly like the
+        # pre-api CLI did, *and* still persists/replays through the
+        # RunStore when --results-dir / REPRO_RESULTS_DIR is set.
+        policy = configure(workers=args.workers, cache_dir=args.cache_dir)
+        start = time.perf_counter()
+        handle = api.sweep(
+            {args.algorithm: spec.build()},
+            workers=policy.workers,
+            cache_dir=policy.cache_dir,
+            store=args.results_dir,
+        )
+        elapsed = time.perf_counter() - start
+        summaries = handle.summaries()
+        cached = (
+            " (cached)"
+            if handle.cache_hits
+            else (" (from store)" if handle.store_hits else "")
+        )
+    else:
+        # The api path: stream the run round by round, optionally persisted.
+        start = time.perf_counter()
+        handle = spec.run(store=args.results_dir)
+        for record in handle.stream():
+            print(
+                f"  round {record.round_number}: "
+                f"accuracy={record.test_accuracy:.3f} "
+                f"duration={record.duration:.2f}s "
+                f"dropped={len(record.dropped_clients)}",
+                file=sys.stderr,
+            )
+        elapsed = time.perf_counter() - start
+        summaries = {args.algorithm: handle.summary()}
+        cached = " (from store)" if handle.loaded_from_store else ""
+
     print(
         render_summaries(
-            suite.summaries(),
+            summaries,
             title=f"repro run: {args.dataset}/{args.algorithm} "
             f"({args.partition}, {scale.name} scale, {args.scenario} scenario)",
         )
     )
-    cached = " (cached)" if suite.cache_hits else ""
     print(f"\nwall-clock: {elapsed:.2f}s{cached}")
     return 0
 
@@ -414,6 +513,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
     _apply_dtype(args)
+    _apply_results_dir(args)
     configs = _grid_configs(
         args.datasets,
         args.algorithms,
@@ -426,23 +526,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     policy = configure(args.workers, args.cache_dir)
     workers, cache_dir = policy.workers, policy.cache_dir
     start = time.perf_counter()
-    suite = run_configs_parallel(
+    handle = api.sweep(
         configs,
         workers=workers,
         cache_dir=cache_dir,
+        store=args.results_dir,
         progress=lambda label, _result: print(f"  done: {label}", file=sys.stderr),
     )
     elapsed = time.perf_counter() - start
     print(
         render_summaries(
-            suite.summaries(),
+            handle.summaries(),
             title=f"repro sweep: {len(configs)} cells, {scale.name} scale, "
             f"{workers} worker{'s' if workers != 1 else ''}",
         )
     )
-    print(f"\nwall-clock: {elapsed:.2f}s  (sum of per-cell compute: {suite.total_wall_seconds():.2f}s)")
+    print(
+        f"\nwall-clock: {elapsed:.2f}s  "
+        f"(sum of per-cell compute: {handle.total_wall_seconds():.2f}s)"
+    )
     if cache_dir is not None:
-        print(f"cache hits: {len(suite.cache_hits)}/{len(configs)} in {cache_dir}")
+        print(f"cache hits: {len(handle.cache_hits)}/{len(configs)} in {cache_dir}")
+    if handle.store is not None:
+        print(
+            f"results dir: {handle.store.root} "
+            f"(store hits: {len(handle.store_hits)}/{len(configs)})"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render summary tables from a persisted RunStore alone."""
+    # Results snapshots the directory scan, so the emptiness check and the
+    # two renderings below parse each manifest exactly once.
+    results = api.Results.open(args.results_dir)
+    filters = {}
+    if args.algorithm:
+        filters["algorithm"] = args.algorithm
+    if args.dataset:
+        filters["dataset"] = args.dataset
+    if args.scenario:
+        filters["scenario"] = args.scenario
+    if not results.runs(**filters):
+        print(f"repro report: no complete runs in {args.results_dir}", file=sys.stderr)
+        return 1
+    print(results.render_summary(**filters))
+    print()
+    print(results.render_round_durations(**filters))
     return 0
 
 
@@ -459,6 +589,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         )
         return 2
     _apply_dtype(args)
+    _apply_results_dir(args)
     configure(workers=args.workers, cache_dir=args.cache_dir)
     if "all" in names:
         names = list(FIGURE_NAMES)
@@ -534,14 +665,29 @@ _COMMANDS: Mapping[str, Callable[[argparse.Namespace], int]] = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "figures": _cmd_figures,
+    "report": _cmd_report,
     "bench": _cmd_bench,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    # Plugins must land in the registries before the parser is built: the
+    # --algorithm/--scenario choices are snapshots of the registry names.
+    load_plugins()
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    # --results-dir routes through REPRO_RESULTS_DIR so that code with no
+    # store parameter of its own (the figure sweeps) persists too; restore
+    # the variable afterwards so the store never leaks past the command
+    # into library callers sharing this process.
+    saved_results_dir = os.environ.get("REPRO_RESULTS_DIR")
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if saved_results_dir is None:
+            os.environ.pop("REPRO_RESULTS_DIR", None)
+        else:
+            os.environ["REPRO_RESULTS_DIR"] = saved_results_dir
 
 
 if __name__ == "__main__":

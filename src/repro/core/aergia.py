@@ -33,11 +33,13 @@ from repro.fl.config import ExperimentConfig
 from repro.fl.federator import BaseFederator, RoundState
 from repro.fl.messages import MessageKind, ProfileReport
 from repro.nn.model import SplitCNN
+from repro.registry import register_federator
 from repro.simulation.cluster import FEDERATOR_ID, SimulatedCluster
 
 Weights = Dict[str, np.ndarray]
 
 
+@register_federator("aergia")
 class AergiaFederator(BaseFederator):
     """Federator implementing the Aergia middleware."""
 

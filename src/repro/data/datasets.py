@@ -19,9 +19,12 @@ This substitution is documented in DESIGN.md §1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Mapping, Optional, Tuple
 
 import numpy as np
+
+from repro.registry import DATASETS as _DATASET_REGISTRY
+from repro.registry import RegistryView, register_dataset
 
 
 @dataclass
@@ -185,32 +188,34 @@ def make_dataset(
     )
 
 
+@register_dataset("mnist")
 def synthetic_mnist(train_size: int = 4000, test_size: int = 1000, seed: int = 1) -> Dataset:
     """Synthetic stand-in for MNIST (28x28 grayscale, 10 classes)."""
     return make_dataset("mnist", (1, 28, 28), 10, train_size, test_size, noise=0.35, seed=seed)
 
 
+@register_dataset("fmnist")
 def synthetic_fmnist(train_size: int = 4000, test_size: int = 1000, seed: int = 2) -> Dataset:
     """Synthetic stand-in for Fashion-MNIST (28x28 grayscale, 10 classes)."""
     return make_dataset("fmnist", (1, 28, 28), 10, train_size, test_size, noise=0.45, seed=seed)
 
 
+@register_dataset("cifar10")
 def synthetic_cifar10(train_size: int = 4000, test_size: int = 1000, seed: int = 3) -> Dataset:
     """Synthetic stand-in for Cifar-10 (32x32 RGB, 10 classes)."""
     return make_dataset("cifar10", (3, 32, 32), 10, train_size, test_size, noise=0.5, seed=seed)
 
 
+@register_dataset("cifar100")
 def synthetic_cifar100(train_size: int = 4000, test_size: int = 1000, seed: int = 4) -> Dataset:
     """Synthetic stand-in for Cifar-100 (32x32 RGB, 100 classes)."""
     return make_dataset("cifar100", (3, 32, 32), 100, train_size, test_size, noise=0.5, seed=seed)
 
 
-DATASETS: Dict[str, Callable[..., Dataset]] = {
-    "mnist": synthetic_mnist,
-    "fmnist": synthetic_fmnist,
-    "cifar10": synthetic_cifar10,
-    "cifar100": synthetic_cifar100,
-}
+#: Dict-like facade over the dataset registry, kept for the historical
+#: ``DATASETS[name]`` call sites; :data:`repro.registry.DATASETS` is the
+#: source of truth (datasets registered by third-party code appear here).
+DATASETS: Mapping[str, Callable[..., Dataset]] = RegistryView(_DATASET_REGISTRY)
 
 
 def load_dataset(name: str, train_size: Optional[int] = None, test_size: Optional[int] = None, seed: Optional[int] = None) -> Dataset:

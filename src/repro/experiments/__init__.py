@@ -11,9 +11,12 @@ their renderings.
 from repro.experiments.workloads import (
     ScaleProfile,
     SCALES,
+    available_scenarios,
     baseline_algorithms,
     evaluation_config,
+    known_datasets,
     scale_from_env,
+    scenario_dynamics,
 )
 from repro.experiments.runner import run_configs, SuiteResult
 from repro.experiments.parallel import (
@@ -28,9 +31,12 @@ from repro.experiments.report import format_table, table1_comparison, render_tab
 __all__ = [
     "ScaleProfile",
     "SCALES",
+    "available_scenarios",
     "baseline_algorithms",
     "evaluation_config",
+    "known_datasets",
     "scale_from_env",
+    "scenario_dynamics",
     "run_configs",
     "run_configs_parallel",
     "run_suite",

@@ -17,7 +17,6 @@ from repro.core.profiler import profile_model_phases
 from repro.core.scheduler import calc_op
 from repro.data.datasets import load_dataset
 from repro.experiments.report import format_table
-from repro.experiments.parallel import run_suite
 from repro.experiments.runner import SuiteResult
 from repro.experiments.workloads import (
     ScaleProfile,
@@ -32,6 +31,21 @@ from repro.experiments.workloads import (
 from repro.fl.metrics import round_duration_density
 from repro.nn.architectures import ARCHITECTURES, build_model
 from repro.nn.model import Phase
+
+
+def _run_suite(configs, progress=None) -> SuiteResult:
+    """Run a labelled batch through the public API.
+
+    The figure functions are thin clients of :func:`repro.api.sweep`: the
+    batch honours the active execution policy (workers/result cache) and —
+    when a results directory is configured (``REPRO_RESULTS_DIR`` or the
+    CLI's ``--results-dir``) — every run is persisted to, and replayed
+    from, the :class:`repro.api.RunStore`, so figures can be re-rendered
+    from the store alone.
+    """
+    from repro.api import sweep
+
+    return sweep(configs, progress=progress).suite
 
 
 # ---------------------------------------------------------------------------
@@ -55,7 +69,7 @@ def figure1a(
         for clients in client_counts
         for variance in variances
     }
-    suite = run_suite(configs)
+    suite = _run_suite(configs)
     multipliers: Dict[int, Dict[float, float]] = {}
     for clients in client_counts:
         baseline = suite[f"{clients}/{variances[0]}"].total_time
@@ -96,7 +110,7 @@ def figure1b_1c(
         ("inf" if d is None else f"{int(d)}s"): motivation_deadline_config(d, scale, seed=seed)
         for d in deadlines
     }
-    suite = run_suite(configs)
+    suite = _run_suite(configs)
     rows = []
     for label, result in suite.results.items():
         rows.append(
@@ -192,7 +206,7 @@ def _evaluation_grid(
             algorithm: evaluation_config(dataset, algorithm, partition, scale, seed=seed)
             for algorithm in algorithms
         }
-        per_dataset[dataset] = run_suite(configs)
+        per_dataset[dataset] = _run_suite(configs)
 
     rows = []
     accuracy: Dict[str, Dict[str, float]] = {}
@@ -262,7 +276,7 @@ def figure8(
         algorithm: evaluation_config("fmnist", algorithm, "noniid", scale, seed=seed)
         for algorithm in algorithms
     }
-    suite = run_suite(configs)
+    suite = _run_suite(configs)
     densities = round_duration_density(list(suite.results.values()), bins=bins)
     mean_durations = {
         algorithm: result.mean_round_duration() for algorithm, result in suite.results.items()
@@ -299,7 +313,7 @@ def figure9(
     configs = {
         f"f={factor}": similarity_factor_config(factor, scale, seed=seed) for factor in factors
     }
-    suite = run_suite(configs)
+    suite = _run_suite(configs)
     rows = []
     for label, result in suite.results.items():
         rows.append([label, result.final_accuracy, result.mean_round_duration()])
@@ -332,7 +346,7 @@ def figure10(scale: Optional[ScaleProfile] = None, seed: int = 42) -> Dict[str, 
         (label, config.with_overrides(rounds=max(config.rounds * 2, 6)))
         for label, config in noniid_degree_configs(scale, seed=seed)
     ]
-    suite = run_suite(dict(labelled))
+    suite = _run_suite(dict(labelled))
     rows = []
     timelines: Dict[str, List[Tuple[float, float]]] = {}
     for label, result in suite.results.items():
@@ -372,7 +386,7 @@ def headline_claims(
         algorithm: evaluation_config(dataset, algorithm, partition, scale, seed=seed)
         for algorithm in ("fedavg", "tifl", "aergia")
     }
-    suite = run_suite(configs)
+    suite = _run_suite(configs)
     aergia = suite["aergia"]
     fedavg = suite["fedavg"]
     tifl = suite["tifl"]
@@ -412,7 +426,7 @@ def profiler_overhead(
     scale = scale or scale_from_env()
     config = evaluation_config("fmnist", "aergia", "iid", scale, seed=seed)
     no_profile_config = config.with_overrides(profile_batches=0, algorithm="fedavg")
-    suite = run_suite({"with": config, "without": no_profile_config})
+    suite = _run_suite({"with": config, "without": no_profile_config})
     with_profiling = suite["with"]
     without_profiling = suite["without"]
 
@@ -455,7 +469,7 @@ def ablation_profile_length(
         configs[f"P={length}"] = config.with_overrides(
             profile_batches=min(length, config.local_updates)
         )
-    suite = run_suite(configs)
+    suite = _run_suite(configs)
     rows = [
         [label, result.final_accuracy, result.total_time, result.mean_round_duration()]
         for label, result in suite.results.items()

@@ -184,12 +184,18 @@ def _worker_init(package_parent: str) -> None:
     workers (the default on macOS/Windows) start fresh — if the package is
     only importable through an in-process ``sys.path`` tweak (as the test
     and benchmark conftests do), unpickling the task would fail with
-    ``ModuleNotFoundError`` without this.
+    ``ModuleNotFoundError`` without this.  Plugin modules are re-imported
+    for the same reason: a spawned worker's registries start empty, so a
+    ``REPRO_PLUGINS``-registered algorithm must be registered again before
+    the worker's ``federator_class`` lookup.
     """
     import sys
 
     if package_parent not in sys.path:
         sys.path.insert(0, package_parent)
+    from repro.registry import load_plugins
+
+    load_plugins()
 
 
 def default_workers() -> int:

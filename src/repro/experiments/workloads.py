@@ -18,9 +18,17 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.fl.config import DynamicsConfig, ExperimentConfig, ResourceConfig
+from repro.registry import (
+    DATASETS,
+    SCALE_PROFILES,
+    SCENARIOS,
+    RegistryView,
+    register_scale,
+    register_scenario,
+)
 
 
 @dataclass(frozen=True)
@@ -40,8 +48,9 @@ class ScaleProfile:
     cifar_round_fraction: float = 0.75
 
 
-SCALES: Dict[str, ScaleProfile] = {
-    "smoke": ScaleProfile(
+register_scale(
+    "smoke",
+    ScaleProfile(
         name="smoke",
         num_clients=4,
         clients_per_round=4,
@@ -52,7 +61,10 @@ SCALES: Dict[str, ScaleProfile] = {
         test_size=120,
         batch_size=16,
     ),
-    "bench": ScaleProfile(
+)
+register_scale(
+    "bench",
+    ScaleProfile(
         name="bench",
         num_clients=8,
         clients_per_round=8,
@@ -65,7 +77,10 @@ SCALES: Dict[str, ScaleProfile] = {
         cifar_client_fraction=0.75,
         cifar_round_fraction=0.5,
     ),
-    "full": ScaleProfile(
+)
+register_scale(
+    "full",
+    ScaleProfile(
         name="full",
         num_clients=24,
         clients_per_round=24,
@@ -76,7 +91,12 @@ SCALES: Dict[str, ScaleProfile] = {
         test_size=2000,
         batch_size=32,
     ),
-}
+)
+
+#: Dict-like facade over the scale registry, kept for the historical
+#: ``SCALES[name]`` call sites; :data:`repro.registry.SCALE_PROFILES` is the
+#: source of truth (third-party scales registered there appear here too).
+SCALES: Mapping[str, ScaleProfile] = RegistryView(SCALE_PROFILES)
 
 
 def scale_from_env(default: str = "bench") -> ScaleProfile:
@@ -101,85 +121,81 @@ def baseline_algorithms() -> Tuple[str, ...]:
 #: cycle every couple of rounds" means the same thing at every scale.
 _SMOKE_ROUND_WORK = SCALES["smoke"].local_updates * SCALES["smoke"].batch_size
 
-#: name -> (description, builder(time_stretch) -> DynamicsConfig)
-_SCENARIOS: Dict[str, Tuple[str, object]] = {
-    "stable": (
-        "static cluster, no dynamics (the pre-refactor behaviour)",
-        lambda f: DynamicsConfig(scenario="stable"),
-    ),
-    "churn": (
-        "clients leave and rejoin on exponential on/off windows; "
-        "mid-round leavers are dropped from the round",
-        lambda f: DynamicsConfig(
-            scenario="churn",
-            churn=True,
-            mean_online_s=2.5 * f,
-            mean_offline_s=0.8 * f,
-            min_online_clients=1,
-            first_event_s=0.3 * f,
-            client_timeout_s=8.0 * f,
-        ),
-    ),
-    "flaky-network": (
-        "client<->federator bandwidth fluctuates between 2% and 60% of "
-        "nominal on a Poisson trace",
-        lambda f: DynamicsConfig(
-            scenario="flaky-network",
-            bandwidth_rate_per_s=2.0 / f,
-            bandwidth_low_factor=0.02,
-            bandwidth_high_factor=0.6,
-            mean_bandwidth_hold_s=1.0 * f,
-            first_event_s=0.1 * f,
-        ),
-    ),
-    "straggler-burst": (
-        "random clients are slowed 5x for short bursts (transient "
-        "co-located load)",
-        lambda f: DynamicsConfig(
-            scenario="straggler-burst",
-            slowdown_rate_per_s=1.5 / f,
-            slowdown_factor=5.0,
-            mean_slowdown_s=1.5 * f,
-            first_event_s=0.1 * f,
-        ),
-    ),
-    "mega-churn": (
-        "aggressive churn plus slowdown bursts plus a flaky network — "
-        "the worst case of all three axes",
-        lambda f: DynamicsConfig(
-            scenario="mega-churn",
-            churn=True,
-            mean_online_s=1.2 * f,
-            mean_offline_s=1.0 * f,
-            min_online_clients=1,
-            first_event_s=0.2 * f,
-            client_timeout_s=5.0 * f,
-            slowdown_rate_per_s=1.0 / f,
-            slowdown_factor=4.0,
-            mean_slowdown_s=1.0 * f,
-            bandwidth_rate_per_s=1.0 / f,
-            bandwidth_low_factor=0.05,
-            bandwidth_high_factor=0.8,
-            mean_bandwidth_hold_s=1.0 * f,
-        ),
-    ),
-}
+
+# Each builder maps a time-stretch factor to the scenario's DynamicsConfig;
+# registration goes through repro.registry.SCENARIOS, where the one-line
+# descriptions shown by `repro list` live.  Third-party scenarios plug in
+# the same way via @register_scenario("name", description="...").
+@register_scenario("stable")
+def _stable_scenario(f: float) -> DynamicsConfig:
+    return DynamicsConfig(scenario="stable")
+
+
+@register_scenario("churn")
+def _churn_scenario(f: float) -> DynamicsConfig:
+    return DynamicsConfig(
+        scenario="churn",
+        churn=True,
+        mean_online_s=2.5 * f,
+        mean_offline_s=0.8 * f,
+        min_online_clients=1,
+        first_event_s=0.3 * f,
+        client_timeout_s=8.0 * f,
+    )
+
+
+@register_scenario("flaky-network")
+def _flaky_network_scenario(f: float) -> DynamicsConfig:
+    return DynamicsConfig(
+        scenario="flaky-network",
+        bandwidth_rate_per_s=2.0 / f,
+        bandwidth_low_factor=0.02,
+        bandwidth_high_factor=0.6,
+        mean_bandwidth_hold_s=1.0 * f,
+        first_event_s=0.1 * f,
+    )
+
+
+@register_scenario("straggler-burst")
+def _straggler_burst_scenario(f: float) -> DynamicsConfig:
+    return DynamicsConfig(
+        scenario="straggler-burst",
+        slowdown_rate_per_s=1.5 / f,
+        slowdown_factor=5.0,
+        mean_slowdown_s=1.5 * f,
+        first_event_s=0.1 * f,
+    )
+
+
+@register_scenario("mega-churn")
+def _mega_churn_scenario(f: float) -> DynamicsConfig:
+    return DynamicsConfig(
+        scenario="mega-churn",
+        churn=True,
+        mean_online_s=1.2 * f,
+        mean_offline_s=1.0 * f,
+        min_online_clients=1,
+        first_event_s=0.2 * f,
+        client_timeout_s=5.0 * f,
+        slowdown_rate_per_s=1.0 / f,
+        slowdown_factor=4.0,
+        mean_slowdown_s=1.0 * f,
+        bandwidth_rate_per_s=1.0 / f,
+        bandwidth_low_factor=0.05,
+        bandwidth_high_factor=0.8,
+        mean_bandwidth_hold_s=1.0 * f,
+    )
 
 
 def available_scenarios() -> Tuple[str, ...]:
-    """All named scenarios, sorted (with ``stable`` first)."""
-    names = sorted(name for name in _SCENARIOS if name != "stable")
-    return ("stable", *names)
+    """All registered scenarios, sorted (with ``stable`` first)."""
+    names = sorted(name for name in SCENARIOS.names() if name != "stable")
+    return ("stable", *names) if "stable" in SCENARIOS else tuple(names)
 
 
 def scenario_description(name: str) -> str:
     """One-line description of a named scenario (used by ``repro list``)."""
-    try:
-        return _SCENARIOS[name][0]
-    except KeyError:
-        raise ValueError(
-            f"unknown scenario {name!r}; valid scenarios: {', '.join(available_scenarios())}"
-        ) from None
+    return SCENARIOS.describe(name)
 
 
 def scenario_dynamics(name: str, scale: Optional[ScaleProfile] = None) -> DynamicsConfig:
@@ -189,37 +205,31 @@ def scenario_dynamics(name: str, scale: Optional[ScaleProfile] = None) -> Dynami
     (``local_updates x batch_size``) so that, relative to a round, the
     dynamics are equally aggressive at every scale.
     """
-    try:
-        _, builder = _SCENARIOS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown scenario {name!r}; valid scenarios: {', '.join(available_scenarios())}"
-        ) from None
+    builder = SCENARIOS.get(name)
     stretch = 1.0
     if scale is not None:
         stretch = (scale.local_updates * scale.batch_size) / _SMOKE_ROUND_WORK
     return builder(stretch)
 
 
-_ARCHITECTURE_FOR_DATASET = {
-    "mnist": "mnist-cnn",
-    "fmnist": "fmnist-cnn",
-    "cifar10": "cifar10-cnn",
-    "cifar100": "cifar100-vgg",
-}
-
-
 def known_datasets() -> Tuple[str, ...]:
     """Datasets the evaluation harness has a default architecture for."""
-    return tuple(sorted(_ARCHITECTURE_FOR_DATASET))
+    return tuple(
+        entry.name for entry in DATASETS.entries() if "architecture" in entry.metadata
+    )
 
 
 def architecture_for(dataset: str) -> str:
-    """The network the paper pairs with each dataset (§5.1 "Networks")."""
-    try:
-        return _ARCHITECTURE_FOR_DATASET[dataset]
-    except KeyError:
-        raise KeyError(f"no default architecture for dataset {dataset!r}") from None
+    """The network the paper pairs with each dataset (§5.1 "Networks").
+
+    Derived from the ``architecture`` metadata attached when the dataset was
+    registered (:func:`repro.registry.register_dataset`).
+    """
+    if dataset in DATASETS:
+        architecture = DATASETS.entry(dataset).metadata.get("architecture")
+        if architecture:
+            return str(architecture)
+    raise KeyError(f"no default architecture for dataset {dataset!r}")
 
 
 def evaluation_config(

@@ -64,6 +64,7 @@ from repro.fl.messages import MessageKind, OffloadResult, ProfileReport, Trainin
 from repro.fl.metrics import ExperimentResult, RoundRecord
 from repro.fl.selection import select_all, select_random
 from repro.nn.model import SplitCNN
+from repro.registry import register_federator
 from repro.simulation.cluster import FEDERATOR_ID, SimulatedCluster
 from repro.simulation.events import Event
 from repro.simulation.network import Message, weights_wire_bytes
@@ -482,6 +483,7 @@ class BaseFederator:
     _finalize_round = finalize_round
 
 
+@register_federator("fedavg")
 class FedAvgFederator(BaseFederator):
     """Plain FedAvg: random selection, wait for everyone, weighted average."""
 

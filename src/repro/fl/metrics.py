@@ -10,7 +10,7 @@ structures in this module capture everything those reports need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,9 +47,27 @@ class ExperimentResult:
     rounds: List[RoundRecord] = field(default_factory=list)
     setup_time: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Round listeners are runtime observers, not part of the result's
+        # value: kept off the dataclass fields so serialization, equality
+        # and ``dataclasses.asdict`` are unaffected.
+        self._round_listeners: List[Callable[[RoundRecord], None]] = []
+
     # ------------------------------------------------------------- recording
+    def add_round_listener(self, listener: Callable[[RoundRecord], None]) -> None:
+        """Call ``listener(record)`` whenever a round is recorded.
+
+        This is the streaming seam of :mod:`repro.api`: every federator
+        (synchronous or asynchronous) records finalized rounds through
+        :meth:`add_round`, so a listener observes them the moment they
+        exist — while the simulation is still running.
+        """
+        self._round_listeners.append(listener)
+
     def add_round(self, record: RoundRecord) -> None:
         self.rounds.append(record)
+        for listener in self._round_listeners:
+            listener(record)
 
     # ------------------------------------------------------------- summaries
     @property

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from importlib import import_module
 from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
@@ -25,6 +24,7 @@ from repro.fl.federator import BaseFederator
 from repro.fl.metrics import ExperimentResult
 from repro.nn.architectures import build_model
 from repro.nn.dtype import resolve_dtype, using_dtype
+from repro.registry import FEDERATORS
 from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.dynamics import ScenarioDynamics
 from repro.simulation.network import LinkSpec
@@ -96,37 +96,25 @@ def _build_profiles(resources: ResourceConfig, num_clients: int, rng: np.random.
     raise ValueError(f"unknown resource scheme {resources.scheme!r}")
 
 
-#: Algorithm name -> (module, class).  Modules are imported lazily so that
-#: :mod:`repro.fl` does not depend on :mod:`repro.baselines` or
-#: :mod:`repro.core` at import time.
-_FEDERATOR_CLASS_PATHS: Dict[str, Tuple[str, str]] = {
-    "fedavg": ("repro.fl.federator", "FedAvgFederator"),
-    "fedprox": ("repro.baselines.fedprox", "FedProxFederator"),
-    "fednova": ("repro.baselines.fednova", "FedNovaFederator"),
-    "fedsgd": ("repro.baselines.fedsgd", "FedSGDFederator"),
-    "tifl": ("repro.baselines.tifl", "TiFLFederator"),
-    "deadline": ("repro.baselines.deadline", "DeadlineFederator"),
-    "aergia": ("repro.core.aergia", "AergiaFederator"),
-    "fedasync": ("repro.baselines.fedasync", "FedAsyncFederator"),
-    "fedbuff": ("repro.baselines.fedbuff", "FedBuffFederator"),
-}
-
-
 def available_algorithms() -> Tuple[str, ...]:
-    """All algorithm names :func:`federator_class` accepts, sorted."""
-    return tuple(sorted(_FEDERATOR_CLASS_PATHS))
+    """All algorithm names :func:`federator_class` accepts, sorted.
+
+    Derived from :data:`repro.registry.FEDERATORS`, so the listing always
+    matches the CLI help, ``repro list`` and the error message below.
+    """
+    return FEDERATORS.names()
 
 
 def federator_class(algorithm: str) -> Type[BaseFederator]:
-    """Resolve an algorithm name to its federator class."""
-    try:
-        module_name, class_name = _FEDERATOR_CLASS_PATHS[algorithm.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; "
-            f"valid algorithms: {', '.join(available_algorithms())}"
-        ) from None
-    return getattr(import_module(module_name), class_name)
+    """Resolve an algorithm name to its federator class.
+
+    Resolution goes through the central plugin registry
+    (:data:`repro.registry.FEDERATORS`): built-in baselines are declared
+    lazily and imported on first use; third-party federators registered via
+    :func:`repro.registry.register_federator` resolve the same way.  An
+    unknown name raises ``ValueError`` listing every valid algorithm.
+    """
+    return FEDERATORS.get(algorithm)
 
 
 def _estimate_client_batch_seconds(

@@ -1,0 +1,439 @@
+"""Central plugin registries for the reproduction's extension points.
+
+Everything a user can name on the command line or through :mod:`repro.api`
+— federated-learning algorithms, cluster-dynamics scenarios, workload scale
+profiles and datasets — resolves through one of the four registries defined
+here instead of hardcoded dictionaries scattered across the codebase:
+
+``FEDERATORS``
+    Algorithm name -> federator class (:class:`repro.fl.federator.BaseFederator`
+    subclass).  The built-in baselines self-register on import via
+    :func:`register_federator`; this module pre-declares them *lazily* (name,
+    providing module and description only), so listing the catalogue never
+    imports the numeric stack and ``repro.fl`` keeps working without
+    importing :mod:`repro.baselines` or :mod:`repro.core` eagerly.
+``SCENARIOS``
+    Scenario name -> builder ``(time_stretch: float) -> DynamicsConfig``.
+``SCALE_PROFILES``
+    Scale name -> :class:`repro.experiments.workloads.ScaleProfile`.
+``DATASETS``
+    Dataset name -> dataset factory (see :mod:`repro.data.datasets`); the
+    registration metadata carries the default ``architecture`` the
+    evaluation pairs with the dataset.
+
+Third-party code extends the system without touching ``repro`` internals::
+
+    from repro.registry import register_federator
+
+    @register_federator("my-strategy", description="my Aergia variant")
+    class MyFederator(BaseFederator):
+        algorithm_name = "my-strategy"
+
+After the import, ``"my-strategy"`` is a valid ``--algorithm`` everywhere:
+the CLI, :func:`repro.fl.runtime.federator_class`, ``repro list`` and
+:func:`repro.api.experiment` all render their listings and error messages
+from the registry, so the valid-name enumerations can never drift apart.
+
+Registry semantics:
+
+* registering a name twice raises ``ValueError`` (a lazy declaration is
+  *fulfilled* — not duplicated — by the declared provider module);
+* looking up an unknown name raises ``ValueError`` naming every valid
+  entry, sorted;
+* :meth:`Registry.get` imports a lazy entry's provider module on first use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "RegistryView",
+    "FEDERATORS",
+    "SCENARIOS",
+    "SCALE_PROFILES",
+    "DATASETS",
+    "register_federator",
+    "register_scenario",
+    "register_scale",
+    "register_dataset",
+    "registries",
+]
+
+#: Sentinel distinguishing "no object given" (decorator usage) from
+#: explicitly registering ``None``.
+_MISSING = object()
+
+
+@dataclass
+class RegistryEntry:
+    """One named entry of a :class:`Registry`.
+
+    ``obj`` is ``None`` while the entry is *lazy*: the name and description
+    are known (so listings work without imports) but the object itself is
+    supplied by ``provider`` — the module whose import registers it.
+    """
+
+    name: str
+    obj: Optional[object] = None
+    provider: Optional[str] = None
+    description: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_lazy(self) -> bool:
+        return self.obj is None
+
+
+class Registry:
+    """A named collection of pluggable components of one kind.
+
+    ``kind`` is the singular noun used in error messages (``"algorithm"``),
+    ``plural`` the listing noun (defaults to ``kind + "s"``).
+    """
+
+    def __init__(self, kind: str, plural: Optional[str] = None) -> None:
+        self.kind = kind
+        self.plural = plural or f"{kind}s"
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    # ---------------------------------------------------------- registration
+    def register(
+        self,
+        name: str,
+        obj: object = _MISSING,
+        *,
+        description: str = "",
+        **metadata: Any,
+    ):
+        """Register ``obj`` under ``name`` (or use as a decorator).
+
+        Decorator form::
+
+            @REGISTRY.register("name", description="...")
+            class Thing: ...
+
+        Direct form::
+
+            REGISTRY.register("name", thing, description="...")
+
+        Raises ``ValueError`` if ``name`` is already registered, unless the
+        existing entry is a lazy declaration being fulfilled by its declared
+        provider module.
+        """
+        if obj is _MISSING:
+
+            def decorator(target: object) -> object:
+                self._register(name, target, description, metadata)
+                return target
+
+            return decorator
+        self._register(name, obj, description, metadata)
+        return obj
+
+    def _register(
+        self, name: str, obj: object, description: str, metadata: Mapping[str, Any]
+    ) -> None:
+        key = name.lower()
+        module = getattr(obj, "__module__", type(obj).__module__)
+        existing = self._entries.get(key)
+        if existing is not None:
+            if existing.is_lazy and existing.provider in (None, module):
+                # A lazy declaration being fulfilled by its provider module.
+                existing.obj = obj
+                if description:
+                    existing.description = description
+                existing.metadata.update(metadata)
+                return
+            provided_by = existing.provider or "a direct registration"
+            raise ValueError(
+                f"duplicate {self.kind} registration {name!r} "
+                f"(already provided by {provided_by})"
+            )
+        self._entries[key] = RegistryEntry(
+            name=key,
+            obj=obj,
+            provider=module,
+            description=description,
+            metadata=dict(metadata),
+        )
+
+    def declare_lazy(
+        self, name: str, provider: str, *, description: str = "", **metadata: Any
+    ) -> None:
+        """Declare ``name`` without importing its provider module.
+
+        The first ``register()`` call for ``name`` from ``provider`` (which
+        :meth:`get` imports on demand) fulfils the declaration.
+        """
+        key = name.lower()
+        if key in self._entries:
+            raise ValueError(f"duplicate {self.kind} declaration {name!r}")
+        self._entries[key] = RegistryEntry(
+            name=key, provider=provider, description=description, metadata=dict(metadata)
+        )
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (primarily for tests un-doing a registration)."""
+        self._entries.pop(name.lower(), None)
+
+    # --------------------------------------------------------------- lookups
+    def _unknown(self, name: str) -> ValueError:
+        return ValueError(
+            f"unknown {self.kind} {name!r}; "
+            f"valid {self.plural}: {', '.join(self.names())}"
+        )
+
+    def validate(self, name: str) -> str:
+        """Check that ``name`` is registered (no import); return the key."""
+        key = name.lower()
+        if key not in self._entries:
+            raise self._unknown(name)
+        return key
+
+    def entry(self, name: str) -> RegistryEntry:
+        """The entry for ``name`` (possibly still lazy)."""
+        return self._entries[self.validate(name)]
+
+    def get(self, name: str) -> object:
+        """Resolve ``name`` to its registered object, importing if lazy."""
+        entry = self.entry(name)
+        if entry.is_lazy:
+            import_module(entry.provider)
+            if entry.is_lazy:
+                raise RuntimeError(
+                    f"module {entry.provider!r} did not register "
+                    f"{self.kind} {entry.name!r} on import"
+                )
+        return entry.obj
+
+    def describe(self, name: str) -> str:
+        """One-line description attached at registration/declaration time."""
+        return self.entry(name).description
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> Tuple[RegistryEntry, ...]:
+        """All entries, sorted by name (lazy ones are *not* imported)."""
+        return tuple(self._entries[name] for name in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {len(self)} entries)"
+
+
+class RegistryView(Mapping):
+    """Read-only ``name -> object`` mapping facade over a registry.
+
+    Kept so the historical module-level dicts (``workloads.SCALES``,
+    ``data.datasets.DATASETS``) remain importable and dict-like while the
+    registry stays the single source of truth.  Lookup follows the
+    ``Mapping`` contract (``KeyError`` on a miss).
+    """
+
+    def __init__(self, registry: Registry) -> None:
+        self._registry = registry
+
+    def __getitem__(self, name: str) -> object:
+        if name not in self._registry:
+            raise KeyError(name)
+        return self._registry.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegistryView({self._registry!r})"
+
+
+# ---------------------------------------------------------------------------
+# The four global registries
+# ---------------------------------------------------------------------------
+FEDERATORS = Registry("algorithm")
+SCENARIOS = Registry("scenario")
+SCALE_PROFILES = Registry("scale")
+DATASETS = Registry("dataset")
+
+
+def register_federator(name: str, *, description: str = "", **metadata: Any):
+    """Class decorator registering a federator under ``name``."""
+    return FEDERATORS.register(name, description=description, **metadata)
+
+
+def register_scenario(name: str, *, description: str = "", **metadata: Any):
+    """Decorator registering a ``(stretch) -> DynamicsConfig`` builder."""
+    return SCENARIOS.register(name, description=description, **metadata)
+
+
+def register_scale(name: str, profile: object, *, description: str = "", **metadata: Any):
+    """Register a workload scale profile."""
+    return SCALE_PROFILES.register(name, profile, description=description, **metadata)
+
+
+def register_dataset(name: str, *, description: str = "", **metadata: Any):
+    """Decorator registering a dataset factory.
+
+    Pass ``architecture="..."`` so the evaluation harness knows which
+    network to pair with the dataset (see
+    :func:`repro.experiments.workloads.architecture_for`).
+    """
+    return DATASETS.register(name, description=description, **metadata)
+
+
+def load_plugins() -> None:
+    """Import the plugin modules named in ``REPRO_PLUGINS``.
+
+    ``REPRO_PLUGINS`` is a comma-separated list of importable module names
+    (resolved against ``PYTHONPATH``).  Importing a plugin module triggers
+    its ``register_*`` decorators, so third-party components land in the
+    registries.  Called by the CLI before parsing (so plugin names are
+    valid ``--algorithm``/``--scenario`` choices) and by every process-pool
+    worker (so plugin algorithms resolve under the spawn start method,
+    where workers do not inherit the parent's registry state).
+    """
+    import os
+
+    for name in os.environ.get("REPRO_PLUGINS", "").split(","):
+        name = name.strip()
+        if name:
+            import_module(name)
+
+
+def registries() -> Dict[str, Registry]:
+    """The registries by listing name, in display order (``repro list``)."""
+    return {
+        "algorithms": FEDERATORS,
+        "scenarios": SCENARIOS,
+        "datasets": DATASETS,
+        "scales": SCALE_PROFILES,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Built-in catalogue: declared lazily so listings never import numpy-heavy
+# modules and `repro.fl` stays import-light.  The provider modules fulfil
+# these declarations with the actual objects via the decorators above.
+# ---------------------------------------------------------------------------
+_BUILTIN_FEDERATORS: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "fedavg",
+        "repro.fl.federator",
+        "plain FedAvg: random selection, wait for everyone, weighted average",
+    ),
+    (
+        "fedprox",
+        "repro.baselines.fedprox",
+        "FedProx: FedAvg with a proximal term limiting local drift",
+    ),
+    (
+        "fednova",
+        "repro.baselines.fednova",
+        "FedNova: normalised aggregation of heterogeneous local work",
+    ),
+    (
+        "fedsgd",
+        "repro.baselines.fedsgd",
+        "FedSGD: single-step local updates aggregated every round",
+    ),
+    (
+        "tifl",
+        "repro.baselines.tifl",
+        "TiFL: tier-based selection of similarly fast clients",
+    ),
+    (
+        "deadline",
+        "repro.baselines.deadline",
+        "per-round deadlines that drop late clients (Figures 1b/1c)",
+    ),
+    (
+        "aergia",
+        "repro.core.aergia",
+        "Aergia: freeze slow clients' feature layers and offload their "
+        "training to similar fast clients (the paper's contribution)",
+    ),
+    (
+        "fedasync",
+        "repro.baselines.fedasync",
+        "FedAsync: staleness-weighted updates applied as they arrive",
+    ),
+    (
+        "fedbuff",
+        "repro.baselines.fedbuff",
+        "FedBuff: buffered asynchronous aggregation of K staleness-"
+        "discounted deltas",
+    ),
+)
+
+for _name, _provider, _description in _BUILTIN_FEDERATORS:
+    FEDERATORS.declare_lazy(_name, _provider, description=_description)
+
+_WORKLOADS = "repro.experiments.workloads"
+
+_BUILTIN_SCENARIOS: Tuple[Tuple[str, str], ...] = (
+    ("stable", "static cluster, no dynamics (the pre-refactor behaviour)"),
+    (
+        "churn",
+        "clients leave and rejoin on exponential on/off windows; "
+        "mid-round leavers are dropped from the round",
+    ),
+    (
+        "flaky-network",
+        "client<->federator bandwidth fluctuates between 2% and 60% of "
+        "nominal on a Poisson trace",
+    ),
+    (
+        "straggler-burst",
+        "random clients are slowed 5x for short bursts (transient "
+        "co-located load)",
+    ),
+    (
+        "mega-churn",
+        "aggressive churn plus slowdown bursts plus a flaky network — "
+        "the worst case of all three axes",
+    ),
+)
+
+for _name, _description in _BUILTIN_SCENARIOS:
+    SCENARIOS.declare_lazy(_name, _WORKLOADS, description=_description)
+
+_BUILTIN_SCALES: Tuple[Tuple[str, str], ...] = (
+    ("smoke", "seconds; used by the test-suite"),
+    ("bench", "minutes; the benchmark harness default"),
+    ("full", "hours; closest to the paper"),
+)
+
+for _name, _description in _BUILTIN_SCALES:
+    SCALE_PROFILES.declare_lazy(_name, _WORKLOADS, description=_description)
+
+_SYNTH_DATASETS = "repro.data.datasets"
+
+_BUILTIN_DATASETS: Tuple[Tuple[str, str, str], ...] = (
+    ("mnist", "mnist-cnn", "synthetic MNIST stand-in (28x28 grayscale, 10 classes)"),
+    ("fmnist", "fmnist-cnn", "synthetic Fashion-MNIST stand-in (28x28 grayscale, 10 classes)"),
+    ("cifar10", "cifar10-cnn", "synthetic Cifar-10 stand-in (32x32 RGB, 10 classes)"),
+    ("cifar100", "cifar100-vgg", "synthetic Cifar-100 stand-in (32x32 RGB, 100 classes)"),
+)
+
+for _name, _architecture, _description in _BUILTIN_DATASETS:
+    DATASETS.declare_lazy(
+        _name, _SYNTH_DATASETS, description=_description, architecture=_architecture
+    )
+
+del _name, _provider, _description, _architecture

@@ -104,6 +104,22 @@ class SimulationEnvironment:
             )
         return self._queue.push(time, callback)
 
+    def step(self) -> bool:
+        """Process the next pending event; ``False`` when the queue is empty.
+
+        Equivalent to one iteration of :meth:`run`, but O(log n) — unlike
+        ``pending_events()``, it never scans the heap, so callers that pump
+        the simulation one event at a time (the streaming run handles) pay
+        the same total cost as a single :meth:`run` call.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.now = event.time
+        event.callback()
+        self._events_processed += 1
+        return True
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Process events until the queue drains (or a limit is reached).
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cli import FIGURE_NAMES, build_parser, main
@@ -13,6 +15,9 @@ from repro.fl.runtime import available_algorithms
 def _reset_execution_policy():
     yield
     reset_policy()
+    # --results-dir routes through the environment (so figure sweeps see it);
+    # drop it after each test so stores never leak across in-process calls.
+    os.environ.pop("REPRO_RESULTS_DIR", None)
 
 
 class TestParser:
@@ -124,3 +129,122 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Aergia" in out
+
+    def test_list_enumerates_every_registry(self, capsys):
+        from repro.registry import registries
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for listing, registry in registries().items():
+            assert listing in out
+            for entry in registry.entries():
+                assert entry.name in out
+                assert entry.description.splitlines()[0] in out
+
+    def test_run_persists_to_results_dir_and_replays(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        argv = [
+            "run",
+            "--algorithm",
+            "fedsgd",
+            "--scale",
+            "smoke",
+            "--results-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "fedsgd" in cold and "(from store)" not in cold
+        manifests = list(tmp_path.glob("*/manifest.json"))
+        jsonls = list(tmp_path.glob("*/rounds.jsonl"))
+        assert len(manifests) == 1 and len(jsonls) == 1
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "(from store)" in warm
+
+        rows = lambda text: [line for line in text.splitlines() if line.startswith("fedsgd")]
+        assert rows(cold) == rows(warm)
+
+    def test_report_renders_from_the_store_alone(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        assert (
+            main(
+                [
+                    "run",
+                    "--algorithm",
+                    "fedsgd",
+                    "--scale",
+                    "smoke",
+                    "--results-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mnist/fedsgd" in out
+        assert "re-rendered from the store" in out
+
+    def test_run_with_cache_dir_still_persists_to_results_dir(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        cache = tmp_path / "cache"
+        store = tmp_path / "store"
+        argv = [
+            "run",
+            "--algorithm",
+            "fedsgd",
+            "--scale",
+            "smoke",
+            "--cache-dir",
+            str(cache),
+            "--results-dir",
+            str(store),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Both the result cache and the RunStore were written.
+        assert list(cache.glob("*.json"))
+        assert len(list(store.glob("*/manifest.json"))) == 1
+        # And the env-routed store does not leak past main().
+        assert "REPRO_RESULTS_DIR" not in os.environ
+        # A rerun is served from the store (store hit beats cache hit).
+        assert main(argv) == 0
+        assert "(from store)" in capsys.readouterr().out
+
+    def test_report_empty_store_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 1
+        assert "no complete runs" in capsys.readouterr().err
+
+    def test_repro_plugins_env_extends_the_cli(self, tmp_path, monkeypatch, capsys):
+        """A third-party module named in REPRO_PLUGINS becomes a valid
+        --algorithm and shows up in `repro list`."""
+        import sys
+
+        (tmp_path / "cli_plugin_under_test.py").write_text(
+            "from repro.fl.federator import BaseFederator\n"
+            "from repro.registry import register_federator\n"
+            "\n"
+            "@register_federator('plugin-fed', description='from a plugin')\n"
+            "class PluginFederator(BaseFederator):\n"
+            "    algorithm_name = 'plugin-fed'\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv("REPRO_PLUGINS", "cli_plugin_under_test")
+        from repro.registry import FEDERATORS
+
+        try:
+            assert main(["list"]) == 0
+            out = capsys.readouterr().out
+            assert "plugin-fed" in out and "from a plugin" in out
+            assert main(
+                ["run", "--algorithm", "plugin-fed", "--scale", "smoke"]
+            ) == 0
+            assert "plugin-fed" in capsys.readouterr().out
+        finally:
+            FEDERATORS.unregister("plugin-fed")
+            sys.modules.pop("cli_plugin_under_test", None)

@@ -1,0 +1,181 @@
+"""Tests for the central plugin registries (:mod:`repro.registry`)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fl.federator import BaseFederator
+from repro.fl.runtime import available_algorithms, federator_class
+from repro.registry import (
+    DATASETS,
+    FEDERATORS,
+    SCALE_PROFILES,
+    SCENARIOS,
+    Registry,
+    register_federator,
+    registries,
+)
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+class TestRegistrySemantics:
+    def test_duplicate_registration_raises(self):
+        registry = Registry("widget")
+        registry.register("thing", object())
+        with pytest.raises(ValueError, match="duplicate widget registration 'thing'"):
+            registry.register("thing", object())
+
+    def test_duplicate_builtin_federator_raises(self):
+        federator_class("fedavg")  # ensure the lazy entry is fulfilled
+        with pytest.raises(ValueError, match="duplicate algorithm registration"):
+            FEDERATORS.register("fedavg", object())
+
+    def test_lazy_declaration_fulfilled_only_by_provider(self):
+        registry = Registry("widget")
+        registry.declare_lazy("thing", "some.module")
+
+        class Impostor:
+            pass  # __module__ is this test module, not "some.module"
+
+        with pytest.raises(ValueError, match="duplicate widget registration"):
+            registry.register("thing", Impostor)
+
+    def test_unknown_lookup_lists_all_names_sorted(self):
+        with pytest.raises(ValueError) as excinfo:
+            FEDERATORS.get("not-an-algorithm")
+        message = str(excinfo.value)
+        assert "unknown algorithm 'not-an-algorithm'" in message
+        names = list(FEDERATORS.names())
+        assert names == sorted(names)
+        # The full sorted catalogue is part of the error message.
+        assert ", ".join(names) in message
+
+    def test_validate_does_not_import(self):
+        assert FEDERATORS.validate("TiFL") == "tifl"
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            FEDERATORS.validate("nope")
+
+    def test_names_are_case_insensitive(self):
+        assert "FedAvg" in FEDERATORS
+        assert federator_class("FedAvg") is federator_class("fedavg")
+
+    def test_entries_do_not_force_imports(self):
+        registry = Registry("widget")
+        registry.declare_lazy("ghost", "repro.nonexistent_module", description="spooky")
+        entries = {entry.name: entry for entry in registry.entries()}
+        assert entries["ghost"].is_lazy
+        assert entries["ghost"].description == "spooky"
+
+    def test_unfulfilled_lazy_entry_raises_on_get(self):
+        registry = Registry("widget")
+        # ``os`` imports fine but registers nothing in this registry.
+        registry.declare_lazy("thing", "os")
+        with pytest.raises(RuntimeError, match="did not register"):
+            registry.get("thing")
+
+
+class TestBuiltinCatalogue:
+    def test_all_nine_federators_resolve_through_the_registry(self):
+        expected = {
+            "aergia",
+            "deadline",
+            "fedasync",
+            "fedavg",
+            "fedbuff",
+            "fednova",
+            "fedprox",
+            "fedsgd",
+            "tifl",
+        }
+        assert set(FEDERATORS.names()) == expected
+        for name in expected:
+            cls = federator_class(name)
+            assert issubclass(cls, BaseFederator)
+            assert cls.algorithm_name == name
+
+    def test_every_entry_has_a_description(self):
+        for listing, registry in registries().items():
+            for entry in registry.entries():
+                assert entry.description, (listing, entry.name)
+
+    def test_scenario_scale_dataset_registries_are_populated(self):
+        assert {"stable", "churn", "mega-churn"} <= set(SCENARIOS.names())
+        assert set(SCALE_PROFILES.names()) == {"smoke", "bench", "full"}
+        assert set(DATASETS.names()) == {"mnist", "fmnist", "cifar10", "cifar100"}
+
+    def test_dataset_metadata_carries_the_architecture(self):
+        for entry in DATASETS.entries():
+            assert entry.metadata["architecture"]
+
+    def test_cli_help_and_value_error_derive_from_the_same_registry(self):
+        """The satellite guarantee: the listings can never drift."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(ValueError) as excinfo:
+            federator_class("bogus")
+        for name in available_algorithms():
+            assert name in parser.epilog
+            assert name in str(excinfo.value)
+        assert available_algorithms() == FEDERATORS.names()
+
+
+class TestThirdPartyRegistration:
+    def test_register_federator_end_to_end(self):
+        @register_federator("unit-test-fed", description="a test-only strategy")
+        class UnitTestFederator(BaseFederator):
+            algorithm_name = "unit-test-fed"
+
+        try:
+            assert "unit-test-fed" in available_algorithms()
+            assert federator_class("unit-test-fed") is UnitTestFederator
+            assert FEDERATORS.describe("unit-test-fed") == "a test-only strategy"
+        finally:
+            FEDERATORS.unregister("unit-test-fed")
+        assert "unit-test-fed" not in available_algorithms()
+
+    def test_registered_scenario_builds_dynamics(self):
+        from repro.experiments.workloads import available_scenarios, scenario_dynamics
+        from repro.fl.config import DynamicsConfig
+        from repro.registry import register_scenario
+
+        @register_scenario("unit-test-scenario", description="test-only scenario")
+        def _unit_test_scenario(stretch: float) -> DynamicsConfig:
+            return DynamicsConfig(scenario="unit-test-scenario", churn=True)
+
+        try:
+            assert "unit-test-scenario" in available_scenarios()
+            dynamics = scenario_dynamics("unit-test-scenario")
+            assert dynamics.churn and dynamics.scenario == "unit-test-scenario"
+        finally:
+            SCENARIOS.unregister("unit-test-scenario")
+
+
+class TestLazyImportFromFreshInterpreter:
+    def test_builtin_federators_resolve_without_eager_imports(self):
+        """A fresh interpreter lists and resolves algorithms lazily."""
+        code = (
+            "import sys\n"
+            "from repro.registry import FEDERATORS\n"
+            "assert 'repro.baselines.fedbuff' not in sys.modules\n"
+            "assert 'repro.core.aergia' not in sys.modules\n"
+            "assert 'fedbuff' in FEDERATORS.names()\n"
+            "cls = FEDERATORS.get('fedbuff')\n"
+            "assert cls.__name__ == 'FedBuffFederator'\n"
+            "assert 'repro.baselines.fedbuff' in sys.modules\n"
+            "assert 'repro.core.aergia' not in sys.modules\n"
+            "print('lazy-ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC_ROOT), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "lazy-ok" in proc.stdout

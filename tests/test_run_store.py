@@ -1,0 +1,189 @@
+"""Tests for the persistent RunStore / Results layer (:mod:`repro.api.store`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.api.store import MANIFEST_NAME, ROUNDS_NAME, STORE_FORMAT, run_key
+from repro.experiments.workloads import SCALES, evaluation_config
+from repro.fl.runtime import run_experiment
+
+
+@pytest.fixture
+def smoke_eval_config():
+    return evaluation_config(
+        "mnist", "fedsgd", "noniid", SCALES["smoke"], seed=11, dtype="float32"
+    )
+
+
+class TestRunStoreRoundTrip:
+    def test_persisted_run_reloads_bitwise(self, tmp_path, smoke_eval_config):
+        """Acceptance: summary survives the disk round-trip bit-for-bit."""
+        handle = api.run(smoke_eval_config, store=tmp_path)
+        original = handle.result()
+
+        stored = api.RunStore(tmp_path).get(smoke_eval_config)
+        assert stored is not None
+        assert stored.config_hash == run_key(smoke_eval_config)
+        reloaded = stored.load_result()
+        assert reloaded.summary() == original.summary()  # bitwise, no approx
+        assert [r.round_number for r in reloaded.rounds] == [
+            r.round_number for r in original.rounds
+        ]
+        assert reloaded.config == original.config
+        assert reloaded.setup_time == original.setup_time
+
+    def test_manifest_is_typed_and_complete(self, tmp_path, smoke_eval_config):
+        api.run(smoke_eval_config, store=tmp_path).result()
+        run_dir = tmp_path / run_key(smoke_eval_config)
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        assert manifest["format"] == STORE_FORMAT
+        assert manifest["status"] == "complete"
+        assert manifest["config_hash"] == run_key(smoke_eval_config)
+        assert manifest["algorithm"] == "fedsgd"
+        assert manifest["dataset"] == "mnist"
+        assert manifest["scenario"] == "stable"
+        assert manifest["dtype"] == "float32"
+        assert manifest["seed"] == 11
+        assert manifest["config"]["num_clients"] == SCALES["smoke"].num_clients
+        assert manifest["summary"]["rounds"] == float(manifest["num_rounds"])
+        # One JSONL line per round, parseable back into records.
+        lines = [
+            json.loads(line)
+            for line in (run_dir / ROUNDS_NAME).read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == int(manifest["num_rounds"])
+        assert [line["round_number"] for line in lines] == list(
+            range(1, len(lines) + 1)
+        )
+
+    def test_second_run_is_detected_as_already_present(self, tmp_path, smoke_eval_config):
+        first = api.run(smoke_eval_config, store=tmp_path)
+        assert not first.loaded_from_store
+        summary = first.summary()
+        assert first.wall_seconds > 0
+
+        second = api.run(smoke_eval_config, store=tmp_path)
+        assert second.loaded_from_store
+        assert second.summary() == summary
+        assert second.wall_seconds == 0.0
+        # Still exactly one stored run.
+        assert len(api.RunStore(tmp_path).runs()) == 1
+
+    def test_different_seed_is_a_different_run(self, tmp_path, smoke_eval_config):
+        api.run(smoke_eval_config, store=tmp_path).result()
+        other = smoke_eval_config.with_overrides(seed=12)
+        handle = api.run(other, store=tmp_path)
+        assert not handle.loaded_from_store
+        handle.result()
+        assert len(api.RunStore(tmp_path).runs()) == 2
+
+    def test_incomplete_run_is_not_served(self, tmp_path, smoke_eval_config):
+        store = api.RunStore(tmp_path)
+        writer = store.start_run(smoke_eval_config)
+        # Abandon the run before finalize: status stays "running".
+        assert store.get(smoke_eval_config) is None
+        writer.abort()
+        assert store.get(smoke_eval_config) is None
+        # A real run afterwards overwrites the stale attempt.
+        handle = api.run(smoke_eval_config, store=store)
+        assert not handle.loaded_from_store
+        handle.result()
+        assert store.get(smoke_eval_config) is not None
+
+    def test_truncated_rounds_file_is_not_replayed(self, tmp_path, smoke_eval_config):
+        """A rounds file disagreeing with the manifest re-executes the run."""
+        api.run(smoke_eval_config, store=tmp_path).result()
+        store = api.RunStore(tmp_path)
+        rounds_path = tmp_path / run_key(smoke_eval_config) / ROUNDS_NAME
+        rounds_path.write_text("")  # simulate deletion/partial sync
+        assert store.get(smoke_eval_config) is None
+        handle = api.run(smoke_eval_config, store=tmp_path)
+        assert not handle.loaded_from_store
+        handle.result()
+        assert store.get(smoke_eval_config) is not None
+
+    def test_run_key_survives_version_and_cache_format_bumps(
+        self, smoke_eval_config, monkeypatch
+    ):
+        """The store is an archive: releases must not orphan stored runs."""
+        import repro
+        from repro.experiments import parallel
+
+        before = run_key(smoke_eval_config)
+        cache_before = parallel.config_hash(smoke_eval_config)
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        monkeypatch.setattr(parallel, "CACHE_FORMAT", 999)
+        assert run_key(smoke_eval_config) == before
+        # ... unlike the result cache's key, which deliberately changes.
+        assert parallel.config_hash(smoke_eval_config) != cache_before
+
+    def test_run_key_covers_the_effective_dtype(self, smoke_eval_config):
+        assert run_key(smoke_eval_config) != run_key(
+            smoke_eval_config.with_overrides(dtype="float64")
+        )
+
+    def test_store_summary_matches_direct_execution(self, tmp_path, smoke_eval_config):
+        """The persisted summary equals the plain run_experiment path."""
+        api.run(smoke_eval_config, store=tmp_path).result()
+        stored = api.RunStore(tmp_path).get(smoke_eval_config)
+        assert stored.load_result().summary() == run_experiment(smoke_eval_config).summary()
+
+
+class TestResultsQueries:
+    @pytest.fixture
+    def populated(self, tmp_path):
+        configs = {
+            "mnist/fedsgd": evaluation_config(
+                "mnist", "fedsgd", "noniid", SCALES["smoke"], seed=5, dtype="float32"
+            ),
+            "mnist/fedavg": evaluation_config(
+                "mnist", "fedavg", "noniid", SCALES["smoke"], seed=5, dtype="float32"
+            ),
+        }
+        handle = api.sweep(configs, store=tmp_path)
+        return tmp_path, handle
+
+    def test_open_filter_and_summaries(self, populated):
+        tmp_path, handle = populated
+        results = api.Results.open(tmp_path)
+        assert len(results) == 2
+        assert sorted(results.labels()) == ["mnist/fedavg", "mnist/fedsgd"]
+        only_sgd = results.runs(algorithm="fedsgd")
+        assert [run.algorithm for run in only_sgd] == ["fedsgd"]
+        summaries = results.summaries()
+        assert summaries["mnist/fedavg"] == handle["mnist/fedavg"].summary()
+
+    def test_load_by_label(self, populated):
+        tmp_path, handle = populated
+        results = api.Results.open(tmp_path)
+        result = results.load("mnist/fedavg")
+        assert result.algorithm == "fedavg"
+        with pytest.raises(KeyError, match="no stored run"):
+            results.load("nope/nope")
+
+    def test_render_from_store_alone(self, populated):
+        tmp_path, _ = populated
+        results = api.Results.open(tmp_path)
+        rendering = results.render_summary()
+        assert "mnist/fedavg" in rendering and "final_accuracy" in rendering
+        durations = results.render_round_durations()
+        assert "mean_round_duration_s" in durations
+
+    def test_sweep_store_hits_on_rerun(self, populated, tmp_path):
+        _, first = populated
+        configs = {
+            "mnist/fedsgd": evaluation_config(
+                "mnist", "fedsgd", "noniid", SCALES["smoke"], seed=5, dtype="float32"
+            ),
+            "mnist/fedavg": evaluation_config(
+                "mnist", "fedavg", "noniid", SCALES["smoke"], seed=5, dtype="float32"
+            ),
+        }
+        second = api.sweep(configs, store=tmp_path)
+        assert sorted(second.store_hits) == ["mnist/fedavg", "mnist/fedsgd"]
+        assert second.summaries() == first.summaries()
