@@ -35,6 +35,7 @@ import hashlib
 
 import repro
 from repro.experiments.parallel import _canonical as _jsonable
+from repro.experiments.parallel import canonical_config
 from repro.fl.config import ExperimentConfig
 from repro.fl.metrics import ExperimentResult, RoundRecord
 from repro.nn.dtype import resolve_dtype
@@ -54,9 +55,13 @@ def run_key(config: ExperimentConfig) -> str:
     the configuration (with the dtype resolved) and :data:`STORE_FORMAT`.
     The RunStore is an *archive*: a version bump must not orphan weeks of
     persisted runs, and provenance lives in each manifest's ``version`` /
-    ``source_revision`` fields instead.
+    ``source_revision`` fields instead.  For the same reason the key drops
+    the client-materialization knobs (``client_pool``/``pool_slots``):
+    materialization cannot change results, so virtual and eager runs of one
+    experiment share a key — and archives written before those knobs
+    existed keep theirs.
     """
-    canonical = _jsonable(dataclasses.asdict(config))
+    canonical = canonical_config(config)
     # A config with dtype=None resolves to the process default at build
     # time, so the effective dtype is part of the identity (results differ
     # across dtypes even though simulated times do not).

@@ -147,9 +147,15 @@ class AsyncFederatorBase(BaseFederator):
             self.finished
             or client_id in self._in_flight
             or not self.cluster.is_online(client_id)
+            or not self.client_has_data(client_id)
             or len(self._in_flight) >= self.concurrency
         ):
             return
+        if self.client_pool is not None:
+            # Pin the in-flight set plus the new dispatchee: the async loop
+            # has no round boundary, so the pinned set tracks whoever is
+            # currently training.
+            self.client_pool.ensure_active([*self._in_flight, client_id])
         self._task_counter += 1
         task_id = self._task_counter
         self._in_flight[client_id] = DispatchRecord(

@@ -104,7 +104,11 @@ class TiFLFederator(BaseFederator):
     # -------------------------------------------------------------- selection
     def select_clients(self, round_number: int) -> List[int]:
         tier_index = self._pick_tier()
-        tier = [cid for cid in self.tiers[tier_index] if self.cluster.is_online(cid)]
+        tier = [
+            cid
+            for cid in self.tiers[tier_index]
+            if self.cluster.is_online(cid) and self.client_has_data(cid)
+        ]
         if not tier:
             # The whole tier is offline (churn): fall back to whoever is up.
             tier = self.selectable_clients()

@@ -60,6 +60,31 @@ class BatchLoader:
         self._cursor += self.batch_size
         return self.x[idx], self.y[idx]
 
+    def state(self) -> dict:
+        """The loader's position in its shuffle stream, as plain data.
+
+        Together with :meth:`set_state` this lets the virtualized client
+        pool dehydrate a client and later resume its batch sequence exactly
+        where an always-hydrated client would be — the loader is the only
+        numeric state that persists across rounds.
+        """
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "order": self._order.copy(),
+            "cursor": self._cursor,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a position previously captured with :meth:`state`."""
+        order = np.asarray(state["order"])
+        if order.shape[0] != self.x.shape[0]:
+            raise ValueError(
+                f"loader state covers {order.shape[0]} samples, dataset has {self.x.shape[0]}"
+            )
+        self._rng.bit_generator.state = state["rng_state"]
+        self._order = order.copy()
+        self._cursor = int(state["cursor"])
+
     def epoch(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Iterate over exactly one epoch of batches."""
         for _ in range(len(self)):

@@ -11,12 +11,27 @@ The paper evaluates two regimes (§5.1 "Heterogeneous Data Distribution"):
 
 Both are implemented here, together with a Dirichlet partitioner that is
 standard in the FL literature and used by the extension benchmarks.
+
+Two access paths share the same randomness:
+
+* the **eager** functions (:func:`partition_iid`,
+  :func:`partition_noniid_label_skew`, :func:`partition_dirichlet`) return
+  one :class:`ClientPartition` per client up front — the historical
+  behaviour, kept as the reference implementation;
+* a **lazy** :class:`PartitionPlan` (built by :func:`plan_partition`)
+  consumes the *identical* random draws at construction but defers the
+  per-client index assembly (concatenate + sort + class counting) until a
+  client's shard is actually requested.  This is what the virtualized
+  client pool uses: a 5000-client cohort only ever pays for the shards of
+  the clients hydrated for a round.  ``plan.materialize()`` is byte-
+  identical to the eager functions for every scheme, which
+  :func:`partition_dataset` relies on by routing through the plan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -197,6 +212,217 @@ def partition_dirichlet(
     return partitions
 
 
+# ---------------------------------------------------------------------------
+# Lazy partition plans: derive any client's shard on demand
+# ---------------------------------------------------------------------------
+class PartitionPlan:
+    """Derives any single client's shard on demand.
+
+    A plan performs every random draw of its eager counterpart at
+    construction time (in the identical order, from the identical
+    generator), but stores only *views* into the drawn permutations — the
+    per-client concatenation, sort and class counting are deferred to
+    :meth:`indices_for` / :meth:`partition`.  Construction therefore costs
+    O(train_size) index memory regardless of the cohort size, and asking
+    for one client's shard costs O(shard) — the property the virtualized
+    client pool builds on.
+    """
+
+    def __init__(self, dataset: Dataset, num_clients: int) -> None:
+        if num_clients < 1:
+            raise ValueError("num_clients must be at least 1")
+        self.num_clients = num_clients
+        self._labels = dataset.y_train
+        self._num_classes = dataset.num_classes
+
+    # -------------------------------------------------------------- interface
+    def _shard_views(self, client_id: int) -> List[np.ndarray]:
+        """The (unsorted) index slices owned by one client."""
+        raise NotImplementedError
+
+    def _check_client(self, client_id: int) -> None:
+        if not 0 <= client_id < self.num_clients:
+            raise IndexError(
+                f"client_id must be in [0, {self.num_clients}), got {client_id}"
+            )
+
+    def indices_for(self, client_id: int) -> np.ndarray:
+        """The client's sorted indices into the global training arrays."""
+        self._check_client(client_id)
+        views = self._shard_views(client_id)
+        if not views:
+            return np.array([], dtype=int)
+        if len(views) == 1:
+            return np.sort(views[0])
+        return np.sort(np.concatenate(views))
+
+    def size_of(self, client_id: int) -> int:
+        """Number of samples the client owns (no index assembly needed)."""
+        self._check_client(client_id)
+        return int(sum(view.shape[0] for view in self._shard_views(client_id)))
+
+    def _counts(self, indices: np.ndarray) -> np.ndarray:
+        if not indices.size:
+            return np.zeros(self._num_classes, dtype=np.int64)
+        return _counts_for(indices, self._labels, self._num_classes)
+
+    def class_counts_for(self, client_id: int) -> np.ndarray:
+        """Per-class sample counts of the client's shard."""
+        return self._counts(self.indices_for(client_id))
+
+    def partition(self, client_id: int) -> ClientPartition:
+        """Materialise one client's :class:`ClientPartition` on demand."""
+        indices = self.indices_for(client_id)
+        return ClientPartition(
+            client_id=client_id,
+            indices=indices,
+            class_counts=self._counts(indices),
+        )
+
+    def sizes(self) -> List[int]:
+        """Per-client shard sizes for the whole cohort."""
+        return [self.size_of(client_id) for client_id in range(self.num_clients)]
+
+    def materialize(self) -> List[ClientPartition]:
+        """Every client's partition — the eager equivalent of this plan."""
+        return [self.partition(client_id) for client_id in range(self.num_clients)]
+
+
+class IIDPartitionPlan(PartitionPlan):
+    """Lazy counterpart of :func:`partition_iid` (same draws, same shards)."""
+
+    def __init__(
+        self, dataset: Dataset, num_clients: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__(dataset, num_clients)
+        if dataset.train_size < num_clients:
+            raise ValueError(
+                f"cannot split {dataset.train_size} samples across {num_clients} clients"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self._permutation = rng.permutation(dataset.train_size)
+        # array_split returns views into the permutation: no copies here.
+        self._shards = np.array_split(self._permutation, num_clients)
+
+    def _shard_views(self, client_id: int) -> List[np.ndarray]:
+        return [self._shards[client_id]]
+
+
+class NonIIDPartitionPlan(PartitionPlan):
+    """Lazy counterpart of :func:`partition_noniid_label_skew`."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_clients: int,
+        classes_per_client: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(dataset, num_clients)
+        if not 1 <= classes_per_client <= dataset.num_classes:
+            raise ValueError(
+                f"classes_per_client must be in [1, {dataset.num_classes}], "
+                f"got {classes_per_client}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        client_classes = [
+            rng.choice(dataset.num_classes, size=classes_per_client, replace=False)
+            for _ in range(num_clients)
+        ]
+        per_class_indices: Dict[int, np.ndarray] = {}
+        for cls in range(dataset.num_classes):
+            idx = np.flatnonzero(dataset.y_train == cls)
+            per_class_indices[cls] = rng.permutation(idx)
+
+        claimants: Dict[int, List[int]] = {cls: [] for cls in range(dataset.num_classes)}
+        for client_id, classes in enumerate(client_classes):
+            for cls in classes:
+                claimants[int(cls)].append(client_id)
+
+        #: client -> (class, slot) pairs, in class order — mirrors the order
+        #: in which the eager path appends shards to each client.
+        self._claims: Dict[int, List[Tuple[int, int]]] = {
+            client_id: [] for client_id in range(num_clients)
+        }
+        #: (class, slot) -> view into that class's permuted indices.
+        self._slices: Dict[Tuple[int, int], np.ndarray] = {}
+        for cls, clients in claimants.items():
+            if not clients:
+                continue
+            shards = np.array_split(per_class_indices[cls], len(clients))
+            for slot, (client_id, shard) in enumerate(zip(clients, shards)):
+                self._claims[client_id].append((cls, slot))
+                self._slices[(cls, slot)] = shard
+
+    def _shard_views(self, client_id: int) -> List[np.ndarray]:
+        return [self._slices[claim] for claim in self._claims[client_id]]
+
+
+class DirichletPartitionPlan(PartitionPlan):
+    """Lazy counterpart of :func:`partition_dirichlet`."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_clients: int,
+        alpha: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(dataset, num_clients)
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        self._claims: Dict[int, List[Tuple[int, int]]] = {
+            client_id: [] for client_id in range(num_clients)
+        }
+        self._slices: Dict[Tuple[int, int], np.ndarray] = {}
+        for cls in range(dataset.num_classes):
+            idx = rng.permutation(np.flatnonzero(dataset.y_train == cls))
+            if idx.size == 0:
+                continue
+            proportions = rng.dirichlet([alpha] * num_clients)
+            counts = np.floor(proportions * idx.size).astype(int)
+            remainder = idx.size - counts.sum()
+            if remainder > 0:
+                order = np.argsort(-proportions)
+                counts[order[:remainder]] += 1
+            start = 0
+            for client_id, count in enumerate(counts):
+                if count > 0:
+                    self._claims[client_id].append((cls, client_id))
+                    self._slices[(cls, client_id)] = idx[start : start + count]
+                    start += count
+
+    def _shard_views(self, client_id: int) -> List[np.ndarray]:
+        return [self._slices[claim] for claim in self._claims[client_id]]
+
+
+def plan_partition(
+    dataset: Dataset,
+    num_clients: int,
+    scheme: str = "iid",
+    classes_per_client: int = 3,
+    alpha: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> PartitionPlan:
+    """Build the lazy :class:`PartitionPlan` for a named scheme.
+
+    Consumes exactly the random draws :func:`partition_dataset` would, so a
+    generator threaded through either entry point stays in sync.
+    """
+    if scheme == "iid":
+        return IIDPartitionPlan(dataset, num_clients, rng=rng)
+    if scheme == "noniid":
+        return NonIIDPartitionPlan(
+            dataset, num_clients, classes_per_client=classes_per_client, rng=rng
+        )
+    if scheme == "dirichlet":
+        return DirichletPartitionPlan(dataset, num_clients, alpha=alpha, rng=rng)
+    raise ValueError(f"unknown partitioning scheme {scheme!r}")
+
+
 def partition_dataset(
     dataset: Dataset,
     num_clients: int,
@@ -212,13 +438,16 @@ def partition_dataset(
     scheme:
         ``"iid"``, ``"noniid"`` (k-class label skew, the paper's setup) or
         ``"dirichlet"``.
+
+    Routed through :func:`plan_partition` + ``materialize()``; the eager
+    per-scheme functions above are the reference implementations the plans
+    are tested against, byte for byte.
     """
-    if scheme == "iid":
-        return partition_iid(dataset, num_clients, rng=rng)
-    if scheme == "noniid":
-        return partition_noniid_label_skew(
-            dataset, num_clients, classes_per_client=classes_per_client, rng=rng
-        )
-    if scheme == "dirichlet":
-        return partition_dirichlet(dataset, num_clients, alpha=alpha, rng=rng)
-    raise ValueError(f"unknown partitioning scheme {scheme!r}")
+    return plan_partition(
+        dataset,
+        num_clients,
+        scheme=scheme,
+        classes_per_client=classes_per_client,
+        alpha=alpha,
+        rng=rng,
+    ).materialize()

@@ -45,7 +45,18 @@ from repro.fl.runtime import run_experiment
 #: config field) changes, so stale cache entries are never reused.
 #: 2: ExperimentConfig grew DynamicsConfig + async-federation knobs and the
 #:    round engine became dropout-tolerant.
+#: (The client-materialization knobs — client_pool/pool_slots — are
+#: excluded from hashing entirely, see MATERIALIZATION_FIELDS, so their
+#: introduction required no format bump.)
 CACHE_FORMAT = 2
+
+#: Config fields describing *how* clients are materialized, not *what*
+#: experiment runs.  Virtual and eager materialization produce bit-for-bit
+#: identical results (pinned by tests/test_virtual_pool.py), so these
+#: fields are not part of a configuration's identity: excluding them keeps
+#: cache/store keys stable across the knobs and across their introduction
+#: (pre-existing archives keep their keys).
+MATERIALIZATION_FIELDS = ("client_pool", "pool_slots")
 
 
 # ---------------------------------------------------------------------------
@@ -60,11 +71,24 @@ def _canonical(value: object) -> object:
     return value
 
 
+def canonical_config(config: ExperimentConfig) -> Dict[str, object]:
+    """Canonical JSON-stable dict of a config's *result-relevant* fields.
+
+    Drops :data:`MATERIALIZATION_FIELDS` — execution-strategy knobs that
+    cannot change results — so cache and store keys are shared across
+    materialization modes.
+    """
+    canonical = _canonical(dataclasses.asdict(config))
+    for field_name in MATERIALIZATION_FIELDS:
+        canonical.pop(field_name, None)
+    return canonical
+
+
 def config_hash(config: ExperimentConfig) -> str:
     """A stable hex digest identifying an experiment configuration.
 
-    The hash covers every dataclass field (including the nested
-    :class:`~repro.fl.config.ResourceConfig`) plus the cache format
+    The hash covers every result-relevant dataclass field (including the
+    nested :class:`~repro.fl.config.ResourceConfig`) plus the cache format
     version, so two configs hash equal iff they describe the same
     experiment under the current result layout.
     """
@@ -74,18 +98,18 @@ def config_hash(config: ExperimentConfig) -> str:
     # serve results computed by a different release of the simulation code.
     # Within a release, editing simulation internals still requires clearing
     # the cache (or bumping CACHE_FORMAT).
-    canonical_config = _canonical(dataclasses.asdict(config))
+    canonical = canonical_config(config)
     # A config with dtype=None resolves to the process-wide compute dtype at
     # build time, so the *effective* dtype must be part of the key — otherwise
     # a REPRO_DTYPE=float64 run would be served float32 results cached earlier
     # (accuracy values differ across dtypes even though simulated times don't).
     from repro.nn.dtype import resolve_dtype
 
-    canonical_config["dtype"] = resolve_dtype(config.dtype).name
+    canonical["dtype"] = resolve_dtype(config.dtype).name
     payload = {
         "format": CACHE_FORMAT,
         "version": repro.__version__,
-        "config": canonical_config,
+        "config": canonical,
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -33,7 +33,15 @@ from repro.registry import (
 
 @dataclass(frozen=True)
 class ScaleProfile:
-    """Workload sizes for one reproduction scale."""
+    """Workload sizes for one reproduction scale.
+
+    Validated at construction (i.e. at registration time for built-in and
+    third-party profiles alike): a profile that selects more clients per
+    round than its cohort holds is rejected here instead of being silently
+    clamped when a config is resolved from it.  The cifar fractions shrink
+    the cohort *proportionally*, so a valid profile stays valid after the
+    rounding in :func:`evaluation_config`.
+    """
 
     name: str
     num_clients: int
@@ -46,6 +54,35 @@ class ScaleProfile:
     batch_size: int
     cifar_client_fraction: float = 0.75
     cifar_round_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "num_clients",
+            "clients_per_round",
+            "rounds",
+            "local_updates",
+            "train_size",
+            "test_size",
+            "batch_size",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"scale profile {self.name!r}: {field_name} must be >= 1")
+        if self.profile_batches < 0:
+            raise ValueError(f"scale profile {self.name!r}: profile_batches cannot be negative")
+        if self.clients_per_round > self.num_clients:
+            raise ValueError(
+                f"scale profile {self.name!r}: clients_per_round "
+                f"({self.clients_per_round}) exceeds num_clients ({self.num_clients})"
+            )
+        if not 0 < self.cifar_client_fraction <= 1 or not 0 < self.cifar_round_fraction <= 1:
+            raise ValueError(
+                f"scale profile {self.name!r}: cifar fractions must be in (0, 1]"
+            )
+
+    @property
+    def is_partial_participation(self) -> bool:
+        """Whether rounds select a strict subset of the cohort."""
+        return self.clients_per_round < self.num_clients
 
 
 register_scale(
@@ -91,6 +128,39 @@ register_scale(
         test_size=2000,
         batch_size=32,
     ),
+)
+# Large-cohort profiles: partial participation over a virtualized client
+# pool (memory tracks the 32/64 hydrated participants, not the cohort —
+# see docs/architecture.md "Client virtualization").
+register_scale(
+    "city",
+    ScaleProfile(
+        name="city",
+        num_clients=1000,
+        clients_per_round=32,
+        rounds=6,
+        local_updates=4,
+        profile_batches=2,
+        train_size=8000,
+        test_size=400,
+        batch_size=16,
+    ),
+    description="city-sized cohort (1k clients, 32 per round, virtualized pool)",
+)
+register_scale(
+    "metro",
+    ScaleProfile(
+        name="metro",
+        num_clients=5000,
+        clients_per_round=64,
+        rounds=4,
+        local_updates=4,
+        profile_batches=2,
+        train_size=20000,
+        test_size=400,
+        batch_size=16,
+    ),
+    description="metro-sized cohort (5k clients, 64 per round, virtualized pool)",
 )
 
 #: Dict-like facade over the scale registry, kept for the historical

@@ -90,6 +90,12 @@ class FLClient:
         self._offload_model: Optional[SplitCNN] = None
         self._offload_batches_done = 0
         self._offload_training_active = False
+        #: An OFFLOAD_EXPECT promised this client an incoming model that has
+        #: not arrived yet (``_offload_source`` is the promising weak
+        #: client).  Cleared when the model lands, when a new round starts,
+        #: or on disconnect (the expectation is void either way).
+        self._offload_expected = False
+        self._offload_source: Optional[int] = None
         #: Pending batch-completion events, kept so that a disconnect (or a
         #: new round arriving while a stale batch is still in flight) can
         #: cancel them instead of letting them corrupt later rounds.
@@ -160,10 +166,84 @@ class FLClient:
         self._offload_training_active = False
         self._offload_target = None
         self._has_offloaded = False
+        self._offload_expected = False
+        self._offload_source = None
 
     def on_reconnect(self) -> None:
         """Called by the cluster when this client comes back online."""
         # Nothing to do: the client idles until the next TRAIN_REQUEST.
+
+    # --------------------------------------------------- pool (de)hydration
+    #: Attribute names that survive dehydration.  Only the batch loader's
+    #: position affects numerics (model weights and optimizer state are
+    #: overwritten at every TRAIN_REQUEST); the counters are lifetime
+    #: diagnostics that reports and tests read.
+    PERSISTENT_COUNTERS = (
+        "rounds_participated",
+        "total_batches_trained",
+        "total_offloads_sent",
+        "total_offloads_trained",
+        "times_disconnected",
+    )
+
+    def is_quiescent(self, resolve_peer=None) -> bool:
+        """Whether the client has no scheduled work or held offload state.
+
+        Only quiescent clients may be dehydrated: a pending batch event, a
+        buffered offloaded model, or a promised-but-undelivered offload
+        would be lost otherwise (in-flight network messages are checked
+        separately by the pool).  ``resolve_peer`` (id -> client or None)
+        lets the pool refine the offload-expectation check — see
+        :meth:`_offload_expectation_live`; without it an unfulfilled
+        expectation conservatively blocks.
+        """
+        return (
+            self._pending_batch_event is None
+            and self._pending_offload_event is None
+            and self._incoming_package is None
+            and not self._offload_training_active
+            and not self._offload_expectation_live(resolve_peer)
+        )
+
+    def _offload_expectation_live(self, resolve_peer=None) -> bool:
+        """Whether a promised offloaded model can still arrive.
+
+        The promise dies with the weak client's round: once the source has
+        finished its own training without offloading (or already shipped
+        the model — then the in-flight/package checks take over), was
+        dehydrated (only possible once itself quiescent), or disconnected,
+        nothing can send anymore and the expectation stops blocking
+        eviction.  Without ``resolve_peer`` the answer is conservative.
+        """
+        if not self._offload_expected:
+            return False
+        if resolve_peer is None or self._offload_source is None:
+            return True
+        source = resolve_peer(self._offload_source)
+        if source is None:
+            return False  # dehydrated (hence quiescent) or unknown: void
+        return (
+            source._round == self._round
+            and not source._own_training_done
+            and not source._has_offloaded
+        )
+
+    def dehydrate(self) -> dict:
+        """Capture the state that must survive eviction from the pool.
+
+        The caller guarantees :meth:`is_quiescent`; everything else the
+        client owns (model buffers, optimizer scratch, data slices) is
+        reconstructed — or recycled from the pool's arena — on rehydration.
+        """
+        state = {name: getattr(self, name) for name in self.PERSISTENT_COUNTERS}
+        state["loader"] = self.loader.state()
+        return state
+
+    def rehydrate(self, state: dict) -> None:
+        """Restore state captured by :meth:`dehydrate` on a fresh instance."""
+        for name in self.PERSISTENT_COUNTERS:
+            setattr(self, name, state[name])
+        self.loader.set_state(state["loader"])
 
     def _cancel_pending_work(self) -> None:
         """Cancel any scheduled batch-completion events."""
@@ -201,6 +281,8 @@ class FLClient:
         self._incoming_package = None
         self._offload_batches_done = 0
         self._offload_training_active = False
+        self._offload_expected = False
+        self._offload_source = None
 
         self.model.unfreeze_features()
         self.model.unfreeze_classifier()
@@ -301,6 +383,9 @@ class FLClient:
         if self._stale(message):
             return
         self._give_up_batches = int(message.payload["offload_batches"])
+        self._offload_expected = True
+        source = message.payload.get("source")
+        self._offload_source = int(source) if source is not None else None
 
     def _maybe_freeze_and_offload(self) -> None:
         if (
@@ -336,6 +421,8 @@ class FLClient:
     def _handle_offloaded_model(self, message: Message) -> None:
         if self._stale(message):
             return
+        self._offload_expected = False
+        self._offload_source = None
         self._incoming_package = message.payload
         if self._own_training_done and not self._offload_training_active:
             self._start_offloaded_training()

@@ -216,6 +216,20 @@ class ExperimentConfig:
     #: FLOP accounting and simulated times are identical across dtypes.
     dtype: Optional[str] = None
 
+    # Client materialization
+    #: How simulated clients are materialized: "eager" builds one fully-
+    #: hydrated FLClient per cohort member at setup (the historical
+    #: behaviour), "virtual" keeps the cohort as lightweight descriptors and
+    #: hydrates clients only when a round selects them (memory tracks
+    #: participants-per-round, not cohort size), "auto" picks virtual for
+    #: cohorts larger than VIRTUAL_POOL_AUTO_THRESHOLD clients.  Both modes
+    #: produce bit-for-bit identical results.
+    client_pool: str = "auto"
+    #: Hydrated-slot budget of the virtual pool's LRU arena; None sizes it
+    #: from the per-round participant count (plus headroom for clients that
+    #: are still finishing after being dropped from a round).
+    pool_slots: Optional[int] = None
+
     # Reproducibility
     seed: int = 42
 
@@ -250,6 +264,12 @@ class ExperimentConfig:
             raise ValueError("fedbuff_buffer_size must be at least 1 when set")
         if self.async_concurrency is not None and self.async_concurrency < 1:
             raise ValueError("async_concurrency must be at least 1 when set")
+        if self.client_pool not in {"auto", "eager", "virtual"}:
+            raise ValueError(
+                f"unknown client_pool mode {self.client_pool!r}; valid: auto, eager, virtual"
+            )
+        if self.pool_slots is not None and self.pool_slots < 1:
+            raise ValueError("pool_slots must be at least 1 when set")
 
     @property
     def effective_clients_per_round(self) -> int:
@@ -288,4 +308,5 @@ class ExperimentConfig:
             "seed": self.seed,
             "dtype": self.dtype,
             "scenario": self.dynamics.scenario,
+            "client_pool": self.client_pool,
         }

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple, Type
 import numpy as np
 
 from repro.data.datasets import load_dataset
-from repro.data.partition import ClientPartition, partition_dataset
+from repro.data.partition import ClientPartition, PartitionPlan, plan_partition
 from repro.fl.client import FLClient
 from repro.fl.config import ExperimentConfig, ResourceConfig
 from repro.fl.federator import BaseFederator
@@ -28,6 +28,7 @@ from repro.registry import FEDERATORS
 from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.dynamics import ScenarioDynamics
 from repro.simulation.network import LinkSpec
+from repro.simulation.virtual_pool import VIRTUAL_POOL_AUTO_THRESHOLD, VirtualClientPool
 from repro.simulation.resources import (
     ResourceProfile,
     speeds_with_variance,
@@ -38,7 +39,13 @@ from repro.simulation.resources import (
 
 @dataclass
 class ExperimentHandle:
-    """Everything :func:`build_experiment` creates, for inspection by tests."""
+    """Everything :func:`build_experiment` creates, for inspection by tests.
+
+    Under the virtualized client pool (``config.client_pool``), ``clients``
+    and ``partitions`` are empty — the cohort exists as descriptors in
+    ``pool`` and shards derive on demand from ``partition_plan``; use
+    :meth:`active_clients` for whatever is hydrated right now.
+    """
 
     config: ExperimentConfig
     cluster: SimulatedCluster
@@ -47,6 +54,16 @@ class ExperimentHandle:
     partitions: List[ClientPartition]
     #: The scenario driver, when the config's dynamics are active.
     dynamics: Optional["ScenarioDynamics"] = None
+    #: The virtual client pool, when the config selects virtualization.
+    pool: Optional[VirtualClientPool] = None
+    #: Lazy shard derivation (always present; source of ``partitions``).
+    partition_plan: Optional[PartitionPlan] = None
+
+    def active_clients(self) -> List[FLClient]:
+        """The live client actors: all of them (eager) or the hydrated ones."""
+        if self.pool is not None:
+            return self.pool.hydrated_clients()
+        return list(self.clients)
 
     def run(self) -> ExperimentResult:
         """Start the federator and run the simulation to completion."""
@@ -161,6 +178,20 @@ def build_experiment(config: ExperimentConfig) -> ExperimentHandle:
         return _build_experiment(config, dtype)
 
 
+def uses_virtual_pool(config: ExperimentConfig) -> bool:
+    """Whether this configuration materializes clients through the pool.
+
+    ``"auto"`` (the default) virtualizes cohorts larger than
+    :data:`~repro.simulation.virtual_pool.VIRTUAL_POOL_AUTO_THRESHOLD`
+    clients, keeping the historical small profiles on the eager path.
+    """
+    if config.client_pool == "eager":
+        return False
+    if config.client_pool == "virtual":
+        return True
+    return config.num_clients > VIRTUAL_POOL_AUTO_THRESHOLD
+
+
 def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHandle:
     rng = np.random.default_rng(config.seed)
 
@@ -171,7 +202,9 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
         seed=config.seed,
     )
     dataset = _cast_dataset(dataset, dtype)
-    partitions = partition_dataset(
+    # The plan performs the same draws eager partitioning would, so the rng
+    # stays in sync for the profile generation below regardless of mode.
+    plan = plan_partition(
         dataset,
         config.num_clients,
         scheme=config.partition,
@@ -179,6 +212,8 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
         alpha=config.dirichlet_alpha,
         rng=rng,
     )
+    virtual = uses_virtual_pool(config)
+    partitions: List[ClientPartition] = [] if virtual else plan.materialize()
 
     profiles = _build_profiles(config.resources, config.num_clients, rng)
     cluster = SimulatedCluster(
@@ -192,20 +227,35 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
 
     global_model = build_model(config.architecture, rng=np.random.default_rng(config.seed))
 
+    def client_model_factory():
+        # Every client model starts from the same seeded initializer (as in
+        # the eager path); TRAIN_REQUESTs overwrite the weights anyway.
+        return build_model(config.architecture, rng=np.random.default_rng(config.seed))
+
     clients: List[FLClient] = []
-    for partition in partitions:
-        client_model = build_model(config.architecture, rng=np.random.default_rng(config.seed))
-        clients.append(
-            FLClient(
-                client_id=partition.client_id,
-                cluster=cluster,
-                model=client_model,
-                x_train=dataset.x_train[partition.indices],
-                y_train=dataset.y_train[partition.indices],
-                config=config,
-                class_counts=partition.class_counts,
-            )
+    pool: Optional[VirtualClientPool] = None
+    if virtual:
+        pool = VirtualClientPool(
+            cluster,
+            config,
+            dataset,
+            plan,
+            model_factory=client_model_factory,
+            slots=config.pool_slots,
         )
+    else:
+        for partition in partitions:
+            clients.append(
+                FLClient(
+                    client_id=partition.client_id,
+                    cluster=cluster,
+                    model=client_model_factory(),
+                    x_train=dataset.x_train[partition.indices],
+                    y_train=dataset.y_train[partition.indices],
+                    config=config,
+                    class_counts=partition.class_counts,
+                )
+            )
 
     federator_cls = federator_class(config.algorithm)
     extra_kwargs: Dict[str, object] = {}
@@ -214,10 +264,15 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
 
         enclave = SGXEnclave(seed=config.seed)
         report = enclave.attest()
-        for partition in partitions:
-            enclave.submit_distribution(
-                seal_distribution(partition.client_id, partition.class_counts, report)
+        for client_id in range(config.num_clients):
+            # Class counts derive from the plan one client at a time: no
+            # shard materialization even for virtualized cohorts.
+            counts = (
+                partitions[client_id].class_counts
+                if partitions
+                else plan.class_counts_for(client_id)
             )
+            enclave.submit_distribution(seal_distribution(client_id, counts, report))
         extra_kwargs["enclave"] = enclave
     elif config.algorithm == "tifl":
         extra_kwargs["client_batch_seconds"] = _estimate_client_batch_seconds(
@@ -232,6 +287,8 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
         y_test=dataset.y_test,
         **extra_kwargs,
     )
+    if pool is not None:
+        federator.attach_client_pool(pool)
 
     dynamics: Optional[ScenarioDynamics] = None
     if config.dynamics.is_active():
@@ -250,6 +307,8 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
         clients=clients,
         partitions=partitions,
         dynamics=dynamics,
+        pool=pool,
+        partition_plan=plan,
     )
 
 

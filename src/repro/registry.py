@@ -417,6 +417,8 @@ _BUILTIN_SCALES: Tuple[Tuple[str, str], ...] = (
     ("smoke", "seconds; used by the test-suite"),
     ("bench", "minutes; the benchmark harness default"),
     ("full", "hours; closest to the paper"),
+    ("city", "city-sized cohort (1k clients, 32 per round, virtualized pool)"),
+    ("metro", "metro-sized cohort (5k clients, 64 per round, virtualized pool)"),
 )
 
 for _name, _description in _BUILTIN_SCALES:

@@ -16,7 +16,12 @@ simulator:
 * :mod:`repro.simulation.network` — an asynchronous, reliable, peer-to-peer
   message layer with per-link latency and bandwidth,
 * :mod:`repro.simulation.cluster` — glue that wires nodes, resources and
-  the network into a cluster object experiments can use.
+  the network into a cluster object experiments can use,
+* :mod:`repro.simulation.dynamics` — time-varying cluster behaviour
+  (churn, dropouts, slowdown bursts, bandwidth traces),
+* :mod:`repro.simulation.virtual_pool` — the virtualized client pool:
+  descriptor-level cohorts with a bounded LRU arena of hydrated clients,
+  so memory tracks participants-per-round instead of cohort size.
 
 All timing-related results of the reproduction (round durations, deadlines,
 profiling reports, offloading decisions) are measured in this virtual time.

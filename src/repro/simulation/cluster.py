@@ -118,6 +118,14 @@ class SimulatedCluster:
             raise KeyError(f"unknown node {node_id!r}")
         self._actors[node_id] = actor
 
+    def detach_actor(self, node_id: Any) -> None:
+        """Forget the actor living on a node (the pool dehydrated it)."""
+        self._actors.pop(node_id, None)
+
+    def actor(self, node_id: Any) -> Optional[Any]:
+        """The actor attached to a node, or ``None`` (e.g. dehydrated)."""
+        return self._actors.get(node_id)
+
     def add_membership_listener(self, callback: Callable[[Any, bool], None]) -> None:
         """Subscribe to online/offline transitions: ``callback(client_id, online)``."""
         self._membership_listeners.append(callback)
@@ -130,6 +138,17 @@ class SimulatedCluster:
     def online_client_ids(self) -> List[int]:
         """Ids of the clients currently online, in ascending order."""
         return [cid for cid in self.client_ids if self.network.is_online(cid)]
+
+    @property
+    def online_client_count(self) -> int:
+        """Number of clients currently online.
+
+        O(1): only clients ever go offline (the federator node is assumed
+        correct), so the network's offline set counts clients exactly.
+        Churn events over large cohorts use this instead of materialising
+        :attr:`online_client_ids`.
+        """
+        return self.num_clients - self.network.offline_count()
 
     def set_client_offline(self, client_id: int) -> None:
         """Disconnect a client: fail its in-flight messages, abort its local

@@ -134,8 +134,12 @@ class ScenarioDynamics:
         if self._stopped():
             return
         d = self.dynamics
-        online = self.cluster.online_client_ids
-        if client_id not in online or len(online) <= d.min_online_clients:
+        # Descriptor-level checks only — O(1) liveness lookups, never the
+        # online-id list (a 5000-client cohort fires thousands of these).
+        if (
+            not self.cluster.is_online(client_id)
+            or self.cluster.online_client_count <= d.min_online_clients
+        ):
             # Taking this client down would leave too few online (or it is
             # already down): skip this window and try again later.
             self.env.schedule(self._exp(d.mean_online_s), self._make_go_offline(client_id))

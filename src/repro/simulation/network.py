@@ -163,6 +163,12 @@ class Network:
         """Whether a node is currently connected (nodes default to online)."""
         return node_id not in self._offline
 
+    def offline_count(self) -> int:
+        """Number of nodes currently disconnected (O(1); churn-heavy
+        scenarios over thousands of clients consult this instead of
+        enumerating the online set)."""
+        return len(self._offline)
+
     def set_node_online(self, node_id: Any, online: bool) -> None:
         """Connect or disconnect a node.
 

@@ -1,0 +1,106 @@
+"""Lazy vs. eager partition parity.
+
+The virtualized client pool derives shards on demand from a
+:class:`repro.data.partition.PartitionPlan`; the contract is that for every
+dataset x distribution combination the plan is *byte-identical* to the
+eager reference functions — same indices, same class counts, whether the
+plan is materialized wholesale or queried per client in any order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import load_dataset
+from repro.data.partition import (
+    partition_dataset,
+    partition_dirichlet,
+    partition_iid,
+    partition_noniid_label_skew,
+    plan_partition,
+)
+from repro.experiments.workloads import known_datasets
+
+SCHEMES = ("iid", "noniid", "dirichlet")
+
+
+def _eager_reference(dataset, num_clients, scheme, rng):
+    """The historical eager implementations, kept as the parity oracle."""
+    if scheme == "iid":
+        return partition_iid(dataset, num_clients, rng=rng)
+    if scheme == "noniid":
+        return partition_noniid_label_skew(dataset, num_clients, classes_per_client=3, rng=rng)
+    return partition_dirichlet(dataset, num_clients, alpha=0.5, rng=rng)
+
+
+@pytest.mark.parametrize("dataset_name", sorted(known_datasets()))
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_plan_matches_eager_for_every_dataset_and_scheme(dataset_name, scheme):
+    dataset = load_dataset(dataset_name, train_size=300, test_size=40, seed=11)
+    for num_clients in (1, 5, 12):
+        eager = _eager_reference(dataset, num_clients, scheme, np.random.default_rng(77))
+        plan = plan_partition(
+            dataset,
+            num_clients,
+            scheme=scheme,
+            classes_per_client=3,
+            alpha=0.5,
+            rng=np.random.default_rng(77),
+        )
+        materialized = plan.materialize()
+        assert len(materialized) == len(eager) == num_clients
+        for reference, lazy in zip(eager, materialized):
+            assert reference.client_id == lazy.client_id
+            assert np.array_equal(reference.indices, lazy.indices)
+            assert np.array_equal(reference.class_counts, lazy.class_counts)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_plan_random_access_is_order_independent(scheme):
+    dataset = load_dataset("mnist", train_size=240, test_size=30, seed=4)
+    eager = _eager_reference(dataset, 8, scheme, np.random.default_rng(5))
+    plan = plan_partition(dataset, 8, scheme=scheme, rng=np.random.default_rng(5))
+    # Query clients out of order, repeatedly: each derivation is pure.
+    for client_id in (7, 0, 3, 7, 1):
+        lazy = plan.partition(client_id)
+        assert np.array_equal(lazy.indices, eager[client_id].indices)
+        assert np.array_equal(lazy.class_counts, eager[client_id].class_counts)
+        assert plan.size_of(client_id) == eager[client_id].size
+        assert np.array_equal(plan.class_counts_for(client_id), eager[client_id].class_counts)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_partition_dataset_routes_through_the_plan(scheme):
+    dataset = load_dataset("fmnist", train_size=200, test_size=20, seed=9)
+    via_dispatch = partition_dataset(dataset, 6, scheme=scheme, rng=np.random.default_rng(13))
+    via_plan = plan_partition(dataset, 6, scheme=scheme, rng=np.random.default_rng(13)).materialize()
+    for a, b in zip(via_dispatch, via_plan):
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.class_counts, b.class_counts)
+
+
+def test_plan_shards_stay_disjoint_and_cover_sizes():
+    dataset = load_dataset("mnist", train_size=200, test_size=20, seed=2)
+    plan = plan_partition(dataset, 7, scheme="iid", rng=np.random.default_rng(0))
+    all_indices = np.concatenate([plan.indices_for(cid) for cid in range(7)])
+    assert len(np.unique(all_indices)) == len(all_indices), "shards must be disjoint"
+    assert sum(plan.sizes()) == len(all_indices)
+    assert plan.sizes() == [plan.partition(cid).size for cid in range(7)]
+
+
+def test_plan_validates_inputs():
+    dataset = load_dataset("mnist", train_size=50, test_size=10, seed=1)
+    with pytest.raises(ValueError):
+        plan_partition(dataset, 0, scheme="iid")
+    with pytest.raises(ValueError):
+        plan_partition(dataset, 60, scheme="iid")  # fewer samples than clients
+    with pytest.raises(ValueError):
+        plan_partition(dataset, 4, scheme="noniid", classes_per_client=0)
+    with pytest.raises(ValueError):
+        plan_partition(dataset, 4, scheme="dirichlet", alpha=0.0)
+    with pytest.raises(ValueError):
+        plan_partition(dataset, 4, scheme="bogus")
+    plan = plan_partition(dataset, 4, scheme="iid")
+    with pytest.raises(IndexError):
+        plan.partition(4)
