@@ -55,6 +55,13 @@ thin shims over the same machinery.
 from repro.api.handles import RunHandle, SweepHandle, run, sweep
 from repro.api.spec import ExperimentSpec, experiment
 from repro.api.store import Results, RunStore, StoredRun, default_store, run_key
+from repro.experiments.scheduler import (
+    BudgetTracker,
+    CellState,
+    IllegalTransition,
+    SweepScheduler,
+)
+from repro.fl.checkpoint import RunCheckpointer, capture_snapshot, load_checkpoint, restore_snapshot
 from repro.registry import (
     DATASETS,
     FEDERATORS,
@@ -76,6 +83,15 @@ __all__ = [
     "sweep",
     "RunHandle",
     "SweepHandle",
+    # checkpoint/resume + budget-aware scheduling
+    "RunCheckpointer",
+    "capture_snapshot",
+    "restore_snapshot",
+    "load_checkpoint",
+    "SweepScheduler",
+    "BudgetTracker",
+    "CellState",
+    "IllegalTransition",
     # persistence
     "RunStore",
     "StoredRun",

@@ -71,6 +71,7 @@ class RunHandle:
         store: StoreLike = None,
         on_round: Optional[RoundCallback] = None,
         label: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
         self.config = config
         self.config_hash = run_key(config)
@@ -84,6 +85,19 @@ class RunHandle:
         self._stored: Optional[StoredRun] = (
             self.store.get(config) if self.store is not None else None
         )
+        #: Round the run was resumed from (``None``: ran from the start).
+        self.resumed_from_round: Optional[int] = None
+        self._checkpoint: Optional[dict] = None
+        if resume and self._stored is None and self.store is not None:
+            from repro.api.store import CHECKPOINT_NAME
+            from repro.fl.checkpoint import load_checkpoint
+
+            # A corrupt/mismatched checkpoint loads as None: the run then
+            # simply executes from scratch.
+            self._checkpoint = load_checkpoint(
+                self.store.run_dir(self.config_hash) / CHECKPOINT_NAME,
+                run_key=self.config_hash,
+            )
 
     # ------------------------------------------------------------ inspection
     @property
@@ -124,19 +138,41 @@ class RunHandle:
         self._result = result
 
     def _execute(self) -> Iterator[RoundRecord]:
+        from repro.fl.checkpoint import RunCheckpointer, restore_snapshot
         from repro.fl.runtime import build_experiment
 
         start = time.perf_counter()
         experiment = build_experiment(self.config)
+        snapshot = self._checkpoint
+        if snapshot is not None:
+            # Overwrite the freshly built experiment's state with the
+            # checkpoint; the round listener is registered afterwards, so
+            # only rounds computed from here on stream (and the writer is
+            # seeded with the checkpointed records below).
+            restore_snapshot(experiment, snapshot)
+            self.resumed_from_round = snapshot["round"]
         pending: deque = deque()
         experiment.federator.result.add_round_listener(pending.append)
         writer = (
-            self.store.start_run(self.config, label=self.label)
+            self.store.start_run(
+                self.config,
+                label=self.label,
+                initial_records=snapshot["records"] if snapshot is not None else None,
+            )
             if self.store is not None
             else None
         )
         try:
-            experiment.federator.start()
+            if writer is not None and self.config.checkpoint_interval is not None:
+                checkpointer = RunCheckpointer(
+                    experiment,
+                    self.config.checkpoint_interval,
+                    writer.checkpoint_path,
+                    run_key=self.config_hash,
+                )
+                checkpointer.install()
+            if snapshot is None:
+                experiment.federator.start()
             env = experiment.cluster.env
             while True:
                 while pending:
@@ -182,12 +218,19 @@ def run(
     store: StoreLike = None,
     on_round: Optional[RoundCallback] = None,
     label: Optional[str] = None,
+    resume: bool = False,
 ) -> RunHandle:
-    """Run one experiment (config or fluent spec), returning its handle."""
+    """Run one experiment (config or fluent spec), returning its handle.
+
+    With ``resume=True`` and a store, an interrupted run of the same
+    configuration continues from its last mid-run checkpoint (see
+    ``config.checkpoint_interval``); the resumed rounds are bitwise
+    identical to an uninterrupted run.
+    """
     if isinstance(config, ExperimentSpec):
         label = label or config.run_label
         config = config.build()
-    return RunHandle(config, store=store, on_round=on_round, label=label)
+    return RunHandle(config, store=store, on_round=on_round, label=label, resume=resume)
 
 
 class SweepHandle:
@@ -208,6 +251,11 @@ class SweepHandle:
         self.suite = suite
         self.store = store
         self.store_hits = list(store_hits)
+        #: Per-cell scheduler states (populated on the budget-aware path;
+        #: plain ``sweep`` marks every returned cell complete).
+        self.states: Dict[str, str] = {label: "complete" for label in suite.results}
+        #: Exceptions of failed cells (budget-aware path only).
+        self.errors: Dict[str, BaseException] = {}
 
     @property
     def results(self) -> Dict[str, ExperimentResult]:
@@ -267,6 +315,10 @@ def sweep(
     workers: Optional[int] = None,
     cache_dir: Union[str, Path, None] = None,
     progress: Optional[Callable[[str, ExperimentResult], None]] = None,
+    budget_seconds: Optional[float] = None,
+    max_cells: Optional[int] = None,
+    resume: bool = False,
+    checkpoint_interval: Optional[int] = None,
 ) -> SweepHandle:
     """Run a labelled batch of experiments, persisting through the store.
 
@@ -276,9 +328,34 @@ def sweep(
     execution policy (``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` or the CLI's
     ``--workers`` / ``--cache-dir``) unless ``workers``/``cache_dir`` are
     given explicitly — and are then persisted.
+
+    Any of ``budget_seconds`` / ``max_cells`` / ``resume`` /
+    ``checkpoint_interval`` routes the batch through the
+    :class:`~repro.experiments.scheduler.SweepScheduler` instead: cells run
+    serially with per-cell states, the budget is checked before each cell
+    (exhaustion marks the rest ``budget_exceeded``), and interrupted cells
+    resume from their mid-run checkpoints.
     """
     normalised = _normalise_configs(configs)
     run_store = _coerce_store(store)
+
+    if (
+        budget_seconds is not None
+        or max_cells is not None
+        or resume
+        or checkpoint_interval is not None
+    ):
+        from repro.experiments.scheduler import BudgetTracker, SweepScheduler
+
+        scheduler = SweepScheduler(
+            normalised,
+            store=run_store,
+            budget=BudgetTracker(wall_seconds=budget_seconds, max_cells=max_cells),
+            resume=resume,
+            checkpoint_interval=checkpoint_interval,
+            progress=progress,
+        )
+        return scheduler.run()
 
     results: Dict[str, ExperimentResult] = {}
     walls: Dict[str, float] = {}

@@ -177,7 +177,12 @@ class ExperimentSpec:
             **self._overrides,
         )
 
-    def run(self, store: object = None, on_round: object = None) -> "RunHandle":
+    def run(
+        self,
+        store: object = None,
+        on_round: object = None,
+        resume: bool = False,
+    ) -> "RunHandle":
         """Build and start the experiment, returning its streaming handle.
 
         ``store`` (a :class:`~repro.api.store.RunStore` or path) persists
@@ -185,14 +190,23 @@ class ExperimentSpec:
         configuration, the handle replays it from disk instead of
         recomputing.  ``on_round`` is called with every
         :class:`~repro.fl.metrics.RoundRecord` as rounds finalize.
+        ``resume=True`` continues an interrupted store-backed run from its
+        last mid-run checkpoint (enable checkpointing with
+        ``.override(checkpoint_interval=K)``).
         """
         from repro.api.handles import RunHandle
 
-        return RunHandle(self.build(), store=store, on_round=on_round, label=self.run_label)
+        return RunHandle(
+            self.build(),
+            store=store,
+            on_round=on_round,
+            label=self.run_label,
+            resume=resume,
+        )
 
-    def stream(self, store: object = None, on_round: object = None):
+    def stream(self, store: object = None, on_round: object = None, resume: bool = False):
         """Shorthand for ``.run(...).stream()``."""
-        return self.run(store=store, on_round=on_round).stream()
+        return self.run(store=store, on_round=on_round, resume=resume).stream()
 
 
 def experiment(algorithm: str = "fedavg") -> ExperimentSpec:

@@ -72,6 +72,10 @@ def run_key(config: ExperimentConfig) -> str:
 
 MANIFEST_NAME = "manifest.json"
 ROUNDS_NAME = "rounds.jsonl"
+#: Mid-run resume checkpoint (see :mod:`repro.fl.checkpoint`), written
+#: into the run directory every ``config.checkpoint_interval`` rounds and
+#: removed when the run finalizes.
+CHECKPOINT_NAME = "checkpoint.pkl"
 
 _source_revision_cache: Optional[str] = None
 _source_revision_known = False
@@ -112,7 +116,13 @@ class RunWriter:
     :meth:`RunStore.put` (bulk write of a finished result).
     """
 
-    def __init__(self, store: "RunStore", config: ExperimentConfig, label: Optional[str] = None):
+    def __init__(
+        self,
+        store: "RunStore",
+        config: ExperimentConfig,
+        label: Optional[str] = None,
+        initial_records: Optional[Sequence[RoundRecord]] = None,
+    ):
         self.store = store
         self.config = config
         self.config_hash = run_key(config)
@@ -120,6 +130,7 @@ class RunWriter:
         self.path = store.run_dir(self.config_hash)
         self.path.mkdir(parents=True, exist_ok=True)
         self._rounds_path = self.path / ROUNDS_NAME
+        self.checkpoint_path = self.path / CHECKPOINT_NAME
         self._num_rounds = 0
         self._manifest = {
             "format": STORE_FORMAT,
@@ -138,8 +149,13 @@ class RunWriter:
             "config": _jsonable(dataclasses.asdict(config)),
         }
         self._write_manifest()
-        # Truncate any stale rounds from a previous (crashed) attempt.
+        # Truncate any stale rounds from a previous (crashed) attempt; a
+        # resume re-writes the rounds recorded before the checkpoint (they
+        # are part of the snapshot), so a torn last line from the crash can
+        # never survive into the resumed file.
         self._rounds_file = open(self._rounds_path, "w")
+        for record in initial_records or ():
+            self.append(record)
 
     def _write_manifest(self) -> None:
         _atomic_write(
@@ -160,6 +176,11 @@ class RunWriter:
             for record in result.rounds:
                 self.append(record)
         self._rounds_file.close()
+        # The finished run supersedes any mid-run checkpoint.
+        try:
+            self.checkpoint_path.unlink()
+        except OSError:
+            pass
         self._manifest.update(
             status="complete",
             completed_at=time.time(),
@@ -225,9 +246,26 @@ class StoredRun:
         """The flat summary recorded at completion (empty while running)."""
         return dict(self.manifest.get("summary", {}))
 
+    @property
+    def has_checkpoint(self) -> bool:
+        """Whether a mid-run resume checkpoint exists for this run."""
+        return (self.path / CHECKPOINT_NAME).exists()
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.path / CHECKPOINT_NAME
+
     # --------------------------------------------------------------- loading
     def rounds(self) -> List[RoundRecord]:
-        """Parse the per-round JSONL records."""
+        """Parse the per-round JSONL records.
+
+        Parsing stops at the first unparseable line: a crash mid-``write``
+        can tear the last line of an appended file, and everything after a
+        torn line is unreliable.  The records before it are intact (each
+        append is flushed whole), so callers see the longest clean prefix —
+        :meth:`load_result` and :meth:`RunStore.get` then compare that
+        prefix length against the manifest to detect the truncation.
+        """
         records: List[RoundRecord] = []
         path = self.path / ROUNDS_NAME
         if not path.exists():
@@ -235,8 +273,12 @@ class StoredRun:
         with open(path) as handle:
             for line in handle:
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     records.append(RoundRecord(**json.loads(line)))
+                except (ValueError, TypeError):
+                    break
         return records
 
     def load_result(self) -> ExperimentResult:
@@ -284,9 +326,19 @@ class RunStore:
         return self.root / key
 
     # --------------------------------------------------------------- writing
-    def start_run(self, config: ExperimentConfig, label: Optional[str] = None) -> RunWriter:
-        """Open a writer for a new run (overwrites an incomplete attempt)."""
-        return RunWriter(self, config, label=label)
+    def start_run(
+        self,
+        config: ExperimentConfig,
+        label: Optional[str] = None,
+        initial_records: Optional[Sequence[RoundRecord]] = None,
+    ) -> RunWriter:
+        """Open a writer for a new run (overwrites an incomplete attempt).
+
+        ``initial_records`` seeds the rounds file before streaming starts —
+        the resume path passes the checkpoint's round records so the
+        rewritten file is whole regardless of how the crashed attempt died.
+        """
+        return RunWriter(self, config, label=label, initial_records=initial_records)
 
     def put(
         self,
@@ -319,13 +371,13 @@ class RunStore:
             return None
         # A rounds file inconsistent with the manifest means the run is
         # corrupt (deleted/truncated): treat it as absent so the caller
-        # re-executes rather than replaying a short result.
+        # re-executes rather than replaying a short result.  Only
+        # *parseable* records count — a torn last line must register as a
+        # truncation here, not blow up in load_result later.
         expected = run.manifest.get("num_rounds")
         if expected is not None:
-            rounds_path = path / ROUNDS_NAME
             try:
-                with open(rounds_path) as handle:
-                    on_disk = sum(1 for line in handle if line.strip())
+                on_disk = len(run.rounds())
             except OSError:
                 return None
             if on_disk != int(expected):
@@ -336,6 +388,29 @@ class RunStore:
         if not isinstance(config, (ExperimentConfig, str)):
             return False
         return self.get(config) is not None
+
+    def scan(self) -> Dict[str, List[StoredRun]]:
+        """Classify every stored run for the resume machinery.
+
+        Returns ``{"complete": [...], "resumable": [...], "incomplete":
+        [...]}``: complete runs replay from disk, resumable ones (crashed
+        or abandoned mid-flight, with a checkpoint on disk) can continue
+        from their last checkpointed round, and incomplete ones without a
+        checkpoint must re-run from scratch.
+        """
+        classified: Dict[str, List[StoredRun]] = {
+            "complete": [],
+            "resumable": [],
+            "incomplete": [],
+        }
+        for run in self.runs():
+            if run.complete and run.manifest.get("format") == STORE_FORMAT:
+                classified["complete"].append(run)
+            elif run.has_checkpoint:
+                classified["resumable"].append(run)
+            else:
+                classified["incomplete"].append(run)
+        return classified
 
     def runs(self) -> List[StoredRun]:
         """Every stored run (any status), ordered by creation time."""

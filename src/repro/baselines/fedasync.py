@@ -72,6 +72,10 @@ class AsyncFederatorBase(BaseFederator):
 
     algorithm_name = "async-base"
 
+    #: The dispatch loop is self-sustaining: the checkpoint's restored
+    #: in-flight tasks re-trigger dispatching, no bootstrap needed.
+    checkpoint_bootstraps_round = False
+
     def __init__(
         self,
         cluster: SimulatedCluster,
@@ -192,6 +196,11 @@ class AsyncFederatorBase(BaseFederator):
         self.apply_update(result, dispatch)
         self._note_update(result)
         self._dispatch(result.client_id)
+        if self.checkpoint_hook is not None:
+            # After the re-dispatch: the captured in-flight set then includes
+            # the task this update just triggered, so the snapshot is a
+            # complete cut of the dispatch loop.
+            self.checkpoint_hook()
 
     def _note_update(self, result: TrainingResult) -> None:
         self._updates_applied += 1
@@ -219,6 +228,49 @@ class AsyncFederatorBase(BaseFederator):
             self._round_pending = False
             self._window_start = self.env.now
         self._dispatch(client_id)
+
+    # ------------------------------------------------------ checkpoint seams
+    def _capture_extra_state(self) -> Optional[dict]:
+        return {
+            "global_flat": self.global_flat.copy(),
+            "model_version": self.model_version,
+            "task_counter": self._task_counter,
+            "in_flight": {
+                client_id: (
+                    record.task_id,
+                    record.model_version,
+                    None if record.snapshot is None else record.snapshot.copy(),
+                )
+                for client_id, record in self._in_flight.items()
+            },
+            "updates_applied": self._updates_applied,
+            "window_start": self._window_start,
+            "window_contributors": list(self._window_contributors),
+            "window_losses": list(self._window_losses),
+            "window_sizes": list(self._window_sizes),
+            "window_dropped": list(self._window_dropped),
+            "staleness_history": list(self.staleness_history),
+        }
+
+    def _restore_extra_state(self, extra: dict) -> None:
+        self.global_flat = np.array(extra["global_flat"], copy=True)
+        self.model_version = int(extra["model_version"])
+        self._task_counter = int(extra["task_counter"])
+        self._in_flight = {
+            client_id: DispatchRecord(
+                task_id=task_id,
+                model_version=model_version,
+                snapshot=None if snapshot is None else np.array(snapshot, copy=True),
+            )
+            for client_id, (task_id, model_version, snapshot) in extra["in_flight"].items()
+        }
+        self._updates_applied = int(extra["updates_applied"])
+        self._window_start = extra["window_start"]
+        self._window_contributors = list(extra["window_contributors"])
+        self._window_losses = list(extra["window_losses"])
+        self._window_sizes = list(extra["window_sizes"])
+        self._window_dropped = list(extra["window_dropped"])
+        self.staleness_history = list(extra["staleness_history"])
 
     # ------------------------------------------------------------- reporting
     def _emit_record(self) -> None:

@@ -71,6 +71,20 @@ class FedBuffFederator(AsyncFederatorBase):
         self.model_version += 1
         self.aggregations += 1
 
+    # ------------------------------------------------------ checkpoint seams
+    def _capture_extra_state(self):
+        extra = super()._capture_extra_state()
+        extra["buffer"] = [(delta.copy(), discount) for delta, discount in self._buffer]
+        extra["aggregations"] = self.aggregations
+        return extra
+
+    def _restore_extra_state(self, extra: dict) -> None:
+        super()._restore_extra_state(extra)
+        self._buffer = [
+            (np.array(delta, copy=True), discount) for delta, discount in extra["buffer"]
+        ]
+        self.aggregations = int(extra["aggregations"])
+
     # ------------------------------------------------------------- plumbing
     def __init__(self, *args, **kwargs) -> None:
         self._buffer: List[Tuple[np.ndarray, float]] = []

@@ -101,6 +101,15 @@ class TiFLFederator(BaseFederator):
         self._tier_credits[tier] -= 1
         return tier
 
+    # ------------------------------------------------------ checkpoint seams
+    def _capture_extra_state(self) -> Optional[dict]:
+        # Tiers and setup time are recomputed deterministically by the
+        # constructor; only the credit ledger mutates across rounds.
+        return {"tier_credits": list(self._tier_credits)}
+
+    def _restore_extra_state(self, extra: dict) -> None:
+        self._tier_credits = list(extra["tier_credits"])
+
     # -------------------------------------------------------------- selection
     def select_clients(self, round_number: int) -> List[int]:
         tier_index = self._pick_tier()

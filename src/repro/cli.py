@@ -251,6 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
     run_p.add_argument("--rounds", type=int, default=None, help="override the round budget")
+    run_p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="K",
+        help="write a resumable mid-run checkpoint into the results dir every "
+        "K completed rounds (requires --results-dir / $REPRO_RESULTS_DIR)",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run of this exact configuration from its "
+        "last checkpoint; the resumed rounds are bitwise identical to an "
+        "uninterrupted run (no-op when no checkpoint exists)",
+    )
     _add_scenario_flag(run_p)
     _add_scale_flag(run_p)
     _add_dtype_flag(run_p)
@@ -284,6 +299,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="client data partition scheme (default: noniid)",
     )
     sweep_p.add_argument("--seed", type=int, default=42, help="experiment seed (default: 42)")
+    sweep_p.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget for the sweep; checked before each cell "
+        "(a running cell always finishes), remaining cells are marked "
+        "budget_exceeded and picked up by a later --resume",
+    )
+    sweep_p.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N cells this invocation (store hits are free)",
+    )
+    sweep_p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="K",
+        help="checkpoint every cell every K rounds so killed cells resume "
+        "instead of recomputing (requires a results dir)",
+    )
+    sweep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume interrupted cells from their checkpoints and re-plan "
+        "failed/budget_exceeded cells; complete cells replay from the store",
+    )
     _add_scenario_flag(sweep_p)
     _add_scale_flag(sweep_p)
     _add_dtype_flag(sweep_p)
@@ -463,6 +508,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.rounds is not None:
         spec = spec.rounds(args.rounds)
+    if args.checkpoint_interval is not None:
+        spec = spec.override(checkpoint_interval=args.checkpoint_interval)
+    if (args.resume or args.checkpoint_interval is not None) and not (
+        args.results_dir or os.environ.get("REPRO_RESULTS_DIR")
+    ):
+        print(
+            "repro run: --resume/--checkpoint-interval need a results dir "
+            "(--results-dir or $REPRO_RESULTS_DIR) to hold the checkpoint",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.cache_dir or os.environ.get("REPRO_CACHE_DIR"):
         # Cache path: api.sweep consults the ResultCache exactly like the
@@ -475,6 +531,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers=policy.workers,
             cache_dir=policy.cache_dir,
             store=args.results_dir,
+            resume=args.resume,
         )
         elapsed = time.perf_counter() - start
         summaries = handle.summaries()
@@ -486,7 +543,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         # The api path: stream the run round by round, optionally persisted.
         start = time.perf_counter()
-        handle = spec.run(store=args.results_dir)
+        handle = spec.run(store=args.results_dir, resume=args.resume)
+        if handle.resumed_from_round is not None:
+            print(
+                f"  resuming from checkpoint at round {handle.resumed_from_round}",
+                file=sys.stderr,
+            )
         for record in handle.stream():
             print(
                 f"  round {record.round_number}: "
@@ -498,6 +560,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         elapsed = time.perf_counter() - start
         summaries = {args.algorithm: handle.summary()}
         cached = " (from store)" if handle.loaded_from_store else ""
+        if handle.resumed_from_round is not None:
+            cached = f" (resumed from round {handle.resumed_from_round})"
 
     print(
         render_summaries(
@@ -525,6 +589,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     policy = configure(args.workers, args.cache_dir)
     workers, cache_dir = policy.workers, policy.cache_dir
+    budgeted = (
+        args.budget_seconds is not None
+        or args.max_cells is not None
+        or args.resume
+        or args.checkpoint_interval is not None
+    )
     start = time.perf_counter()
     handle = api.sweep(
         configs,
@@ -532,15 +602,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         store=args.results_dir,
         progress=lambda label, _result: print(f"  done: {label}", file=sys.stderr),
+        budget_seconds=args.budget_seconds,
+        max_cells=args.max_cells,
+        resume=args.resume,
+        checkpoint_interval=args.checkpoint_interval,
     )
     elapsed = time.perf_counter() - start
+    mode = "budget-aware serial scheduler" if budgeted else (
+        f"{workers} worker{'s' if workers != 1 else ''}"
+    )
     print(
         render_summaries(
             handle.summaries(),
-            title=f"repro sweep: {len(configs)} cells, {scale.name} scale, "
-            f"{workers} worker{'s' if workers != 1 else ''}",
+            title=f"repro sweep: {len(configs)} cells, {scale.name} scale, {mode}",
         )
     )
+    if budgeted:
+        from collections import Counter
+
+        counts = Counter(handle.states.values())
+        print(
+            "cell states: "
+            + ", ".join(f"{state}={count}" for state, count in sorted(counts.items())),
+            file=sys.stderr,
+        )
+        for label, error in sorted(handle.errors.items()):
+            print(f"  failed: {label}: {error}", file=sys.stderr)
     print(
         f"\nwall-clock: {elapsed:.2f}s  "
         f"(sum of per-cell compute: {handle.total_wall_seconds():.2f}s)"

@@ -84,6 +84,21 @@ class OnlineProfiler:
         self._batches = 0
         self._active = True
 
+    # ------------------------------------------------------- checkpoint seams
+    def capture_state(self) -> Dict:
+        return {
+            "totals": {phase.value: total for phase, total in self._totals.items()},
+            "batches": self._batches,
+            "active": self._active,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._totals = {phase: 0.0 for phase in Phase}
+        for name, total in state["totals"].items():
+            self._totals[Phase(name)] = float(total)
+        self._batches = int(state["batches"])
+        self._active = bool(state["active"])
+
     # --------------------------------------------------------------- recording
     def record_batch(self, phase_durations: Dict[Phase, float]) -> float:
         """Record the measured durations of one batch.

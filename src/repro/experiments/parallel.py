@@ -58,6 +58,13 @@ CACHE_FORMAT = 2
 #: (pre-existing archives keep their keys).
 MATERIALIZATION_FIELDS = ("client_pool", "pool_slots")
 
+#: All config fields describing execution strategy rather than the
+#: experiment itself.  ``checkpoint_interval`` joins the materialization
+#: knobs: checkpointed and straight-through runs are bitwise identical
+#: (pinned by tests/test_resume.py), so they must share cache and store
+#: entries.
+EXECUTION_FIELDS = MATERIALIZATION_FIELDS + ("checkpoint_interval",)
+
 
 # ---------------------------------------------------------------------------
 # Stable configuration hashing
@@ -74,12 +81,12 @@ def _canonical(value: object) -> object:
 def canonical_config(config: ExperimentConfig) -> Dict[str, object]:
     """Canonical JSON-stable dict of a config's *result-relevant* fields.
 
-    Drops :data:`MATERIALIZATION_FIELDS` — execution-strategy knobs that
-    cannot change results — so cache and store keys are shared across
-    materialization modes.
+    Drops :data:`EXECUTION_FIELDS` — execution-strategy knobs that cannot
+    change results — so cache and store keys are shared across
+    materialization modes and across checkpointed/straight-through runs.
     """
     canonical = _canonical(dataclasses.asdict(config))
-    for field_name in MATERIALIZATION_FIELDS:
+    for field_name in EXECUTION_FIELDS:
         canonical.pop(field_name, None)
     return canonical
 

@@ -1,0 +1,227 @@
+"""Budget-aware sweep scheduling with an explicit per-cell state machine.
+
+:func:`repro.api.sweep` runs every cell unconditionally; the
+:class:`SweepScheduler` adds the operational layer a long campaign needs:
+
+* every cell moves through an explicit state machine
+  (``pending -> running -> complete | failed``, plus the terminal
+  ``budget_exceeded`` for cells the budget never let start) and illegal
+  transitions raise — the scheduler cannot silently lose a cell;
+* a :class:`BudgetTracker` bounds the campaign by wall-clock seconds
+  and/or executed cell count.  The budget is checked *before* each cell,
+  never mid-cell: a running cell always finishes (checkpointing makes a
+  killed one resumable anyway), and once the budget is exhausted every
+  remaining pending cell is marked ``budget_exceeded`` — never
+  ``failed``, so a later ``--resume`` invocation picks them up;
+* cells already complete in the :class:`~repro.api.store.RunStore` are
+  served from disk before the budget starts ticking, and a crashed cell
+  with a checkpoint resumes instead of recomputing (``resume=True``);
+* a cell that raises is marked ``failed`` and the sweep *continues* —
+  one bad configuration does not abort the campaign.
+
+The executor is injectable (``executor(label, config) -> (result,
+wall_seconds)``) so the state machine is testable with fake clocks and
+scripted failures; the default executor routes through
+:func:`repro.api.run` with the scheduler's ``resume`` and
+``checkpoint_interval`` settings applied.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.metrics import ExperimentResult
+
+
+class CellState:
+    """The sweep cell states (plain strings, JSON/manifest friendly)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETE = "complete"
+    FAILED = "failed"
+    BUDGET_EXCEEDED = "budget_exceeded"
+
+    ALL = (PENDING, RUNNING, COMPLETE, FAILED, BUDGET_EXCEEDED)
+
+
+#: The only legal state transitions.  ``pending -> complete`` is the
+#: store-hit shortcut (the cell never ran here); the three terminal states
+#: have no outgoing edges — a finished cell's verdict never changes within
+#: one scheduler run (a *new* run re-plans failed/budget_exceeded cells as
+#: pending again).
+LEGAL_TRANSITIONS: Dict[str, frozenset] = {
+    CellState.PENDING: frozenset(
+        {CellState.RUNNING, CellState.COMPLETE, CellState.BUDGET_EXCEEDED}
+    ),
+    CellState.RUNNING: frozenset({CellState.COMPLETE, CellState.FAILED}),
+    CellState.COMPLETE: frozenset(),
+    CellState.FAILED: frozenset(),
+    CellState.BUDGET_EXCEEDED: frozenset(),
+}
+
+
+class IllegalTransition(RuntimeError):
+    """A sweep cell was asked to make a transition the machine forbids."""
+
+
+class BudgetTracker:
+    """Wall-clock and cell-count budget for one sweep campaign.
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    With neither limit set the tracker never exhausts.
+    """
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        max_cells: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if wall_seconds is not None and wall_seconds < 0:
+            raise ValueError("wall_seconds budget must be non-negative")
+        if max_cells is not None and max_cells < 0:
+            raise ValueError("max_cells budget must be non-negative")
+        self.wall_seconds = wall_seconds
+        self.max_cells = max_cells
+        self._clock = clock
+        self._started: Optional[float] = None
+        self.cells_executed = 0
+
+    @property
+    def limited(self) -> bool:
+        return self.wall_seconds is not None or self.max_cells is not None
+
+    def start(self) -> None:
+        if self._started is None:
+            self._started = self._clock()
+
+    def elapsed(self) -> float:
+        if self._started is None:
+            return 0.0
+        return self._clock() - self._started
+
+    def note_cell(self) -> None:
+        """Record one executed (not store-served) cell."""
+        self.cells_executed += 1
+
+    def exhausted(self) -> bool:
+        if self.wall_seconds is not None and self.elapsed() >= self.wall_seconds:
+            return True
+        if self.max_cells is not None and self.cells_executed >= self.max_cells:
+            return True
+        return False
+
+
+class SweepScheduler:
+    """Serial budget-aware scheduler over labelled experiment configs.
+
+    After :meth:`run`, inspect ``states`` (label -> :class:`CellState`
+    value), ``errors`` (label -> exception, for failed cells),
+    ``store_hits``, and the returned handle.
+    """
+
+    def __init__(
+        self,
+        configs: Mapping[str, ExperimentConfig],
+        *,
+        store=None,
+        budget: Optional[BudgetTracker] = None,
+        resume: bool = False,
+        checkpoint_interval: Optional[int] = None,
+        executor: Optional[
+            Callable[[str, ExperimentConfig], Tuple[ExperimentResult, float]]
+        ] = None,
+        progress: Optional[Callable[[str, ExperimentResult], None]] = None,
+    ) -> None:
+        self.configs: Dict[str, ExperimentConfig] = dict(configs)
+        self.store = store
+        self.budget = budget if budget is not None else BudgetTracker()
+        self.resume = resume
+        self.checkpoint_interval = checkpoint_interval
+        self._executor = executor if executor is not None else self._default_executor
+        self.progress = progress
+
+        self.states: Dict[str, str] = {
+            label: CellState.PENDING for label in self.configs
+        }
+        self.results: Dict[str, ExperimentResult] = {}
+        self.wall_seconds: Dict[str, float] = {}
+        self.errors: Dict[str, BaseException] = {}
+        self.store_hits: List[str] = []
+
+    # ------------------------------------------------------------ state machine
+    def transition(self, label: str, new_state: str) -> None:
+        old_state = self.states[label]
+        if new_state not in LEGAL_TRANSITIONS[old_state]:
+            raise IllegalTransition(
+                f"cell {label!r}: illegal transition {old_state!r} -> {new_state!r}"
+            )
+        self.states[label] = new_state
+
+    # --------------------------------------------------------------- execution
+    def _default_executor(
+        self, label: str, config: ExperimentConfig
+    ) -> Tuple[ExperimentResult, float]:
+        from repro.api.handles import run
+
+        if self.checkpoint_interval is not None and config.checkpoint_interval is None:
+            # checkpoint_interval is an execution field: the override keeps
+            # the run key (and thus the store identity) unchanged.
+            config = config.with_overrides(checkpoint_interval=self.checkpoint_interval)
+        handle = run(config, store=self.store, label=label, resume=self.resume)
+        result = handle.result()
+        return result, handle.wall_seconds
+
+    def run(self):
+        """Execute the campaign; returns a :class:`repro.api.SweepHandle`."""
+        from repro.api.handles import SweepHandle
+        from repro.experiments.runner import SuiteResult
+
+        # Store-complete cells are free: served before the budget starts,
+        # and never counted against it.
+        if self.store is not None:
+            for label, config in self.configs.items():
+                stored = self.store.get(config)
+                if stored is None:
+                    continue
+                result = stored.load_result()
+                self.results[label] = result
+                self.wall_seconds[label] = 0.0
+                self.store_hits.append(label)
+                self.transition(label, CellState.COMPLETE)
+                if self.progress is not None:
+                    self.progress(label, result)
+
+        self.budget.start()
+        for label, config in self.configs.items():
+            if self.states[label] != CellState.PENDING:
+                continue
+            if self.budget.exhausted():
+                self.transition(label, CellState.BUDGET_EXCEEDED)
+                continue
+            self.transition(label, CellState.RUNNING)
+            try:
+                result, wall = self._executor(label, config)
+            except Exception as exc:
+                self.errors[label] = exc
+                self.transition(label, CellState.FAILED)
+                continue
+            self.budget.note_cell()
+            self.results[label] = result
+            self.wall_seconds[label] = wall
+            self.transition(label, CellState.COMPLETE)
+            if self.progress is not None:
+                self.progress(label, result)
+
+        suite = SuiteResult()
+        for label in self.configs:
+            if label in self.results:
+                suite.results[label] = self.results[label]
+                suite.wall_seconds[label] = self.wall_seconds[label]
+        handle = SweepHandle(suite, store=self.store, store_hits=self.store_hits)
+        handle.states = dict(self.states)
+        handle.errors = dict(self.errors)
+        return handle

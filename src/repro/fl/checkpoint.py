@@ -1,0 +1,263 @@
+"""Mid-run checkpointing: crash-safe, bitwise-identical resume.
+
+A checkpoint is one pickled snapshot of *everything* that makes the
+discrete-event simulation deterministic:
+
+* the federator's aggregation state (global weights, rng stream, round
+  counter, algorithm extras such as TiFL's tier credits or FedBuff's
+  delta buffer),
+* every client's execution state (loader position, lifetime counters,
+  mid-round model/optimizer state and the pending batch completion),
+  captured directly on the eager path or through the virtual pool,
+* the cluster's mutable environment (offline set, speed fractions, link
+  overrides, clock skews) and the scenario driver's declarative pending
+  events plus its rng stream,
+* every message in flight on the network, with its original delivery
+  ``(time, sequence)``,
+* the simulation clock and all round records emitted so far.
+
+The resume path rebuilds the experiment from its configuration (all
+construction-time state is seeded), overwrites the mutable state from the
+snapshot, and re-schedules the captured events in merged ``(time,
+sequence)`` order — newly created events then sort after every restored
+one, exactly as they did in the uninterrupted run, so the continuation is
+**bitwise identical**: same round records, same weights, same rng draws.
+
+Capture points differ per engine:
+
+* The synchronous engine offers the boundary *between* rounds (no round
+  state, no timers, no training requests in flight yet); a resumed run
+  re-enters ``_start_round`` (``bootstrap_round``).
+* The asynchronous engines offer the end of every update application; the
+  captured in-flight task set then re-drives the dispatch loop on its own.
+
+A capture *refuses* (returns ``None``) whenever some component holds state
+the snapshot cannot represent — a client mid-offload-training, a round in
+flight, or any unaccounted event on the queue.  The
+:class:`RunCheckpointer` simply retries at the next opportunity, so a
+refused boundary costs nothing but checkpoint freshness.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: Bump when the snapshot layout changes; stale checkpoints are ignored
+#: (the run restarts from scratch rather than resuming wrongly).
+CHECKPOINT_FORMAT = 1
+
+
+# --------------------------------------------------------------------- capture
+def capture_snapshot(experiment) -> Optional[dict]:
+    """Snapshot a running experiment, or ``None`` when it refuses capture.
+
+    ``experiment`` is the :class:`repro.fl.runtime.ExperimentHandle` of the
+    run in flight.  Refusal is normal operation (see module docstring).
+    """
+    federator = experiment.federator
+    cluster = experiment.cluster
+    env = cluster.env
+
+    federator_state = federator.capture_checkpoint_state()
+    if federator_state is None:
+        return None
+
+    pool_state = None
+    client_states: Optional[List[Tuple[int, dict]]] = None
+    if experiment.pool is not None:
+        pool_state = experiment.pool.capture_state()
+        if pool_state is None:
+            return None
+        live_states = pool_state["hydrated"]
+    else:
+        client_states = []
+        for client in experiment.clients:
+            state = client.capture_execution_state()
+            if state is None:
+                return None
+            client_states.append((client.client_id, state))
+        live_states = client_states
+
+    dynamics_state = None
+    dynamics_pending = 0
+    if experiment.dynamics is not None:
+        dynamics_state = experiment.dynamics.capture_state()
+        dynamics_pending = experiment.dynamics.pending_count()
+
+    messages = cluster.network.capture_in_flight()
+    pending_batches = sum(
+        1 for _cid, state in live_states if state["pending_batch"] is not None
+    )
+
+    # Every pending event must be one we can re-create; anything else (a
+    # round timer, a stale event from an untracked source) makes the cut
+    # incomplete and the capture refuses.
+    if env.pending_events() != dynamics_pending + len(messages) + pending_batches:
+        return None
+
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "run_key": None,  # filled in by the writer
+        "round": federator._rounds_completed,
+        "now": env.now,
+        "bootstrap_round": federator.checkpoint_bootstraps_round and not federator.finished,
+        "records": list(federator.result.rounds),
+        "federator": federator_state,
+        "clients": client_states,
+        "pool": pool_state,
+        "cluster": cluster.capture_state(),
+        "dynamics": dynamics_state,
+        "messages": messages,
+    }
+
+
+# --------------------------------------------------------------------- restore
+def restore_snapshot(experiment, snapshot: dict) -> None:
+    """Restore a snapshot onto a freshly built (never started) experiment.
+
+    After this returns, pumping the simulation continues the run exactly
+    where the checkpoint was taken; the caller must *not* call
+    ``federator.start()``.
+    """
+    federator = experiment.federator
+    cluster = experiment.cluster
+    env = cluster.env
+
+    env.now = snapshot["now"]
+    cluster.restore_state(snapshot["cluster"])
+
+    # Clients before messages: hydration re-registers network handlers.
+    if experiment.pool is not None:
+        experiment.pool.restore_state(snapshot["pool"])
+        live_states = snapshot["pool"]["hydrated"]
+        resolve = experiment.pool.client
+    else:
+        by_id = {client.client_id: client for client in experiment.clients}
+        for client_id, state in snapshot["clients"]:
+            by_id[client_id].restore_execution_state(state)
+        live_states = snapshot["clients"]
+        resolve = by_id.get
+
+    federator.restore_checkpoint_state(snapshot["federator"])
+    federator.result.rounds.extend(snapshot["records"])
+
+    if experiment.dynamics is not None and snapshot["dynamics"] is not None:
+        experiment.dynamics.restore_state(snapshot["dynamics"])
+
+    # Re-schedule every captured event in globally merged (time, sequence)
+    # order: re-pushing in that order reproduces the uninterrupted run's
+    # tie-breaking, and everything scheduled afterwards sorts later — just
+    # like events created after the capture point did originally.
+    entries: List[Tuple[float, int, tuple]] = []
+    if snapshot["dynamics"] is not None:
+        for time, sequence, kind, args in snapshot["dynamics"]["pending"]:
+            entries.append((time, sequence, ("dynamics", kind, args)))
+    for message in snapshot["messages"]:
+        entries.append((message["deliver_at"], message["sequence"], ("message", message)))
+    for client_id, state in live_states:
+        pending = state["pending_batch"]
+        if pending is not None:
+            time, sequence, loss = pending
+            entries.append((time, sequence, ("batch", client_id, loss)))
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+
+    for _time, _sequence, action in entries:
+        if action[0] == "dynamics":
+            experiment.dynamics.schedule_restored(_time, action[1], action[2])
+        elif action[0] == "message":
+            cluster.network.restore_in_flight(action[1])
+        else:  # "batch"
+            resolve(action[1]).schedule_restored_batch(_time, action[2])
+
+    if snapshot["bootstrap_round"]:
+        # The sync engine checkpoints before the next round starts; in the
+        # uninterrupted run _start_round ran synchronously inside the
+        # finalizing event, i.e. before any queued event — calling it here,
+        # after the restored events claimed their sequence numbers, keeps
+        # the event order identical.
+        federator._start_round()
+
+
+# ------------------------------------------------------------------- files
+def write_checkpoint(path, snapshot: dict) -> None:
+    """Atomically write a snapshot (write-to-temp + rename)."""
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path, run_key: Optional[str] = None) -> Optional[dict]:
+    """Load a checkpoint, or ``None`` when missing, corrupt, or mismatched.
+
+    A checkpoint written by a different snapshot format — or for a
+    different run key, when one is given — is treated exactly like a
+    missing one: the caller falls back to running from scratch.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+    except Exception:
+        return None
+    if not isinstance(snapshot, dict) or snapshot.get("format") != CHECKPOINT_FORMAT:
+        return None
+    if run_key is not None and snapshot.get("run_key") != run_key:
+        return None
+    return snapshot
+
+
+# ------------------------------------------------------------------- driver
+class RunCheckpointer:
+    """Drives periodic checkpoint capture for one running experiment.
+
+    Installed onto the federator's ``checkpoint_hook``; every call is a
+    cheap counter check until a checkpoint becomes *due* (``interval``
+    completed rounds since the last write), after which each opportunity
+    attempts a capture until one succeeds (skip-and-retry).
+    """
+
+    def __init__(self, experiment, interval: int, path, run_key: Optional[str] = None) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be at least 1")
+        self.experiment = experiment
+        self.interval = int(interval)
+        self.path = Path(path)
+        self.run_key = run_key
+        #: Round of the last written checkpoint; starts at the restored
+        #: round on resume so the first new checkpoint lands one full
+        #: interval later.
+        self.last_round = experiment.federator._rounds_completed
+        self.written = 0
+        self.skipped = 0
+        self._due = False
+
+    def install(self) -> None:
+        self.experiment.federator.checkpoint_hook = self.maybe_checkpoint
+
+    def maybe_checkpoint(self) -> None:
+        federator = self.experiment.federator
+        if federator.finished:
+            return  # the finalized run supersedes any checkpoint
+        completed = federator._rounds_completed
+        if completed > self.last_round and completed % self.interval == 0:
+            self._due = True
+        if not self._due:
+            return
+        snapshot = capture_snapshot(self.experiment)
+        if snapshot is None:
+            self.skipped += 1
+            return
+        snapshot["run_key"] = self.run_key
+        write_checkpoint(self.path, snapshot)
+        self.last_round = completed
+        self.written += 1
+        self._due = False

@@ -101,6 +101,10 @@ class FLClient:
         #: cancel them instead of letting them corrupt later rounds.
         self._pending_batch_event = None
         self._pending_offload_event = None
+        #: The already-computed loss the pending batch event will report;
+        #: kept as plain data (not only inside the event's closure) so a
+        #: checkpoint can serialize and re-schedule the completion exactly.
+        self._pending_batch_loss: Optional[float] = None
 
         # Lifetime statistics (used by tests and reports).
         self.rounds_participated = 0
@@ -250,9 +254,112 @@ class FLClient:
         if self._pending_batch_event is not None:
             self._pending_batch_event.cancel()
             self._pending_batch_event = None
+            self._pending_batch_loss = None
         if self._pending_offload_event is not None:
             self._pending_offload_event.cancel()
             self._pending_offload_event = None
+
+    # ----------------------------------------------------- checkpoint seams
+    def capture_execution_state(self) -> Optional[dict]:
+        """Full mid-run state for a checkpoint, or ``None`` when the client
+        is in a state the checkpointer does not serialize.
+
+        This extends :meth:`dehydrate` (loader position + lifetime counters)
+        with the in-flight training task: model weights, optimizer momentum,
+        round progress, profiler accumulators, and the already-computed
+        pending batch completion.  Mid-offload-training states are refused —
+        offloading happens only inside a synchronous round, and the
+        synchronous engine checkpoints at round boundaries where it is never
+        active.  *Residual* round flags (frozen features, a stale offload
+        expectation, a profiler that never hit its stop condition) can
+        outlive the round until the next ``TRAIN_REQUEST`` resets them; they
+        are captured as plain data so pool-eviction decisions after a resume
+        match the uninterrupted run exactly.
+        """
+        if (
+            self._incoming_package is not None
+            or self._offload_training_active
+            or self._pending_offload_event is not None
+        ):
+            return None
+        state = self.dehydrate()
+        mid_round = self._round is not None
+        state.update(
+            round=self._round,
+            total_batches=self._total_batches,
+            batches_done=self._batches_done,
+            losses=list(self._losses),
+            own_training_done=self._own_training_done,
+            result_sent=self._result_sent,
+            give_up_batches=self._give_up_batches,
+            profile_batches=self._profile_batches,
+            report_profile=self._report_profile,
+            profile_sent=self._profile_sent,
+            profiler=self._profiler.capture_state(),
+            offload_target=self._offload_target,
+            offload_budget=self._offload_budget,
+            has_offloaded=self._has_offloaded,
+            offload_expected=self._offload_expected,
+            offload_source=self._offload_source,
+            features_frozen=self.model.features_frozen,
+            weights=self.model.get_weights() if mid_round else None,
+            optimizer=self.optimizer.capture_state() if mid_round else None,
+            pending_batch=(
+                (
+                    self._pending_batch_event.time,
+                    self._pending_batch_event.sequence,
+                    self._pending_batch_loss,
+                )
+                if self._pending_batch_event is not None
+                and not self._pending_batch_event.cancelled
+                else None
+            ),
+        )
+        return state
+
+    def restore_execution_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`capture_execution_state`.
+
+        The pending batch event (if any) is *not* re-scheduled here: the
+        checkpoint orchestrator replays all captured events in globally
+        merged (time, sequence) order via :meth:`schedule_restored_batch`.
+        """
+        self.rehydrate({key: state[key] for key in (*self.PERSISTENT_COUNTERS, "loader")})
+        self._cancel_pending_work()
+        self._round = state["round"]
+        self._total_batches = int(state["total_batches"])
+        self._batches_done = int(state["batches_done"])
+        self._losses = list(state["losses"])
+        self._own_training_done = bool(state["own_training_done"])
+        self._result_sent = bool(state["result_sent"])
+        self._give_up_batches = int(state["give_up_batches"])
+        self._profile_batches = int(state["profile_batches"])
+        self._report_profile = bool(state["report_profile"])
+        self._profile_sent = bool(state["profile_sent"])
+        self._profiler.restore_state(state["profiler"])
+        self._offload_target = state["offload_target"]
+        self._offload_budget = int(state["offload_budget"])
+        self._has_offloaded = bool(state["has_offloaded"])
+        self._incoming_package = None
+        self._offload_batches_done = 0
+        self._offload_training_active = False
+        self._offload_expected = bool(state["offload_expected"])
+        self._offload_source = state["offload_source"]
+        if state["weights"] is not None:
+            self.model.unfreeze_features()
+            self.model.unfreeze_classifier()
+            self.model.set_weights(state["weights"])
+            self.optimizer.restore_state(state["optimizer"])
+            if state["features_frozen"]:
+                self.model.freeze_features()
+
+    def schedule_restored_batch(self, time: float, loss: float) -> None:
+        """Re-schedule a captured pending batch completion at its absolute
+        fire time (called by the checkpoint orchestrator in event order)."""
+        self._pending_batch_loss = loss
+        self._pending_batch_event = self.env.schedule_at(
+            time, lambda: self._on_own_batch_done(loss)
+        )
 
     # ------------------------------------------------------------ round start
     def _start_round(self, message: Message) -> None:
@@ -320,12 +427,14 @@ class FLClient:
                 phase: self.clock.measure(seconds) for phase, seconds in phase_durations.items()
             }
             duration += self._profiler.record_batch(measured)
+        self._pending_batch_loss = loss
         self._pending_batch_event = self.env.schedule(
             duration, lambda: self._on_own_batch_done(loss)
         )
 
     def _on_own_batch_done(self, loss: float) -> None:
         self._pending_batch_event = None
+        self._pending_batch_loss = None
         self._batches_done += 1
         self.total_batches_trained += 1
         self._losses.append(loss)

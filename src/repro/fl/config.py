@@ -230,6 +230,14 @@ class ExperimentConfig:
     #: are still finishing after being dropped from a round).
     pool_slots: Optional[int] = None
 
+    # Checkpointing
+    #: Write a resumable mid-run checkpoint into the run's store directory
+    #: every this many completed (virtual) rounds; ``None`` disables
+    #: checkpointing.  Purely an execution knob: a checkpointed run and a
+    #: straight-through run produce bitwise-identical results, so the field
+    #: is excluded from ``config_hash``/``run_key`` (like ``client_pool``).
+    checkpoint_interval: Optional[int] = None
+
     # Reproducibility
     seed: int = 42
 
@@ -270,6 +278,8 @@ class ExperimentConfig:
             )
         if self.pool_slots is not None and self.pool_slots < 1:
             raise ValueError("pool_slots must be at least 1 when set")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1 when set")
 
     @property
     def effective_clients_per_round(self) -> int:

@@ -126,6 +126,12 @@ class BaseFederator:
 
     algorithm_name = "base"
 
+    #: Whether a resumed run must re-enter :meth:`_start_round` to continue
+    #: (the synchronous engine checkpoints *before* the next round starts).
+    #: Async federators are driven entirely by their restored in-flight
+    #: messages and override this to ``False``.
+    checkpoint_bootstraps_round = True
+
     def __init__(
         self,
         cluster: SimulatedCluster,
@@ -157,6 +163,11 @@ class BaseFederator:
         self._round_pending = False
         self._rounds_completed = 0
         self.setup_time = 0.0
+        #: Called at every checkpoint opportunity (see
+        #: :class:`repro.fl.checkpoint.RunCheckpointer`); ``None`` when the
+        #: run is not checkpointed.  The synchronous engine offers the
+        #: boundary between rounds, *before* the next round starts.
+        self.checkpoint_hook = None
 
         self.result = ExperimentResult(
             algorithm=self.algorithm_name,
@@ -511,8 +522,57 @@ class BaseFederator:
         self.result.setup_time = self.setup_time
         self._rounds_completed += 1
         self._round_state = None
+        if self.checkpoint_hook is not None:
+            # Between rounds: no round state, no round timers, no training
+            # requests in flight yet — the quietest point of the loop.
+            self.checkpoint_hook()
         if not self.finished:
             self._start_round()
+
+    # ------------------------------------------------------ checkpoint seams
+    def capture_checkpoint_state(self) -> Optional[dict]:
+        """Serializable federator state at a round boundary, or ``None``.
+
+        The synchronous engine only checkpoints between rounds, so a round
+        in flight refuses capture (the checkpointer retries at the next
+        boundary).  Subclasses contribute algorithm state through
+        :meth:`_capture_extra_state`.
+        """
+        if self._round_state is not None:
+            return None
+        extra = self._capture_extra_state()
+        if extra is None:
+            return None
+        return {
+            "global_weights": {k: v.copy() for k, v in self.global_weights.items()},
+            "rng": self._rng.bit_generator.state,
+            "rounds_completed": self._rounds_completed,
+            "round_pending": self._round_pending,
+            "setup_time": self.setup_time,
+            "extra": extra,
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`capture_checkpoint_state` onto a
+        freshly built federator (before the simulation is resumed)."""
+        self.global_weights = {
+            k: np.array(v, copy=True) for k, v in state["global_weights"].items()
+        }
+        self.global_model.set_weights(self.global_weights)
+        self._rng.bit_generator.state = state["rng"]
+        self._rounds_completed = int(state["rounds_completed"])
+        self._round_pending = bool(state["round_pending"])
+        self.setup_time = state["setup_time"]
+        self.result.setup_time = state["setup_time"]
+        self._restore_extra_state(state["extra"])
+
+    def _capture_extra_state(self) -> Optional[dict]:
+        """Algorithm-specific mutable state (TiFL tier credits, async
+        buffers, ...).  Return ``None`` to refuse the checkpoint."""
+        return {}
+
+    def _restore_extra_state(self, extra: dict) -> None:
+        """Restore state captured by :meth:`_capture_extra_state`."""
 
     # Backwards-compatible alias (pre-refactor name).
     _finalize_round = finalize_round

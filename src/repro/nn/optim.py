@@ -114,6 +114,21 @@ class SGD(Optimizer):
         self._velocity.clear()
         self._scratch.clear()
 
+    def capture_state(self) -> dict:
+        """Serializable mid-training state (checkpointing).
+
+        Only the momentum buffers carry information across steps; scratch
+        buffers are overwritten before every use and are rebuilt lazily.
+        """
+        return {"velocity": {key: value.copy() for key, value in self._velocity.items()}}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`capture_state` (after reset)."""
+        self.reset_state()
+        self._velocity.update(
+            {key: np.array(value, copy=True) for key, value in state["velocity"].items()}
+        )
+
 
 class ProximalSGD(SGD):
     """SGD with the FedProx proximal term.
@@ -186,3 +201,18 @@ class ProximalSGD(SGD):
         super().reset_state()
         self._anchor = None
         self._prox_scratch.clear()
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["anchor"] = (
+            {key: value.copy() for key, value in self._anchor.items()}
+            if self._anchor is not None
+            else None
+        )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        anchor = state.get("anchor")
+        if anchor is not None:
+            self.set_anchor(anchor)

@@ -70,6 +70,20 @@ class LocalClock:
         """
         return (local_reading - self.offset) / (1.0 + self.drift)
 
+    def state(self) -> dict:
+        """Serializable skew parameters (checkpointing).
+
+        Clocks are rebuilt deterministically from the cluster seed, so this
+        is belt-and-braces: restoring the captured values guards resumed
+        runs against any drift in the reconstruction path.
+        """
+        return {"offset": self.offset, "drift": self.drift}
+
+    def set_state(self, state: dict) -> None:
+        """Restore skew parameters captured by :meth:`state`."""
+        self.offset = float(state["offset"])
+        self.drift = float(state["drift"])
+
     @staticmethod
     def random(
         env: SimulationEnvironment,

@@ -212,6 +212,39 @@ class SimulatedCluster:
         self.network.set_link(client_id, FEDERATOR_ID, spec)
         self.network.set_link(FEDERATOR_ID, client_id, spec)
 
+    # ------------------------------------------------------ checkpoint seams
+    def capture_state(self) -> Dict[str, Any]:
+        """Serializable snapshot of the cluster's mutable state.
+
+        Scenario dynamics mutate three things outside the actors: the
+        offline set, the per-client ``speed_fraction`` (slowdown bursts
+        multiply it in place) and the per-pair link overrides (bandwidth
+        traces).  Clock skews are construction-time constants but are
+        captured anyway so a resumed run cannot drift from reconstruction.
+        """
+        return {
+            "offline": self.network.capture_offline(),
+            "speeds": {
+                cid: self.profile(cid).speed_fraction for cid in self.client_ids
+            },
+            "links": self.network.capture_link_overrides(),
+            "clocks": {cid: self.nodes[cid].clock.state() for cid in self.client_ids},
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot from :meth:`capture_state`.
+
+        Membership is restored silently (no disconnect/reconnect side
+        effects): actors and federator state are restored separately by the
+        checkpoint orchestrator.
+        """
+        self.network.restore_offline(state["offline"])
+        for cid, speed in state["speeds"].items():
+            self.profile(cid).speed_fraction = speed
+        self.network.restore_link_overrides(state["links"])
+        for cid, clock_state in state["clocks"].items():
+            self.nodes[cid].clock.set_state(clock_state)
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the simulation until the event queue drains; returns the end time."""
         self.env.run(until=until, max_events=max_events)

@@ -32,12 +32,13 @@ once the experiment is over so the simulation can drain.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.fl.config import DynamicsConfig
 from repro.simulation.cluster import SimulatedCluster
+from repro.simulation.events import Event
 
 
 class ScenarioDynamics:
@@ -77,6 +78,14 @@ class ScenarioDynamics:
         )
         self._installed = False
 
+        #: Pending dynamics events: handle -> (event, kind, args).  All
+        #: scheduling goes through :meth:`_schedule`, so the driver's future
+        #: is fully declarative — (fire time, kind, args) tuples — which is
+        #: what makes mid-run checkpoints serializable (the historical
+        #: implementation scheduled bare closures).
+        self._pending: Dict[int, Tuple[Event, str, tuple]] = {}
+        self._next_handle = 0
+
         # Diagnostics (used by tests and experiment logs).
         self.offline_events = 0
         self.online_events = 0
@@ -99,16 +108,16 @@ class ScenarioDynamics:
         if d.churn:
             for client_id in self.cluster.client_ids:
                 delay = d.first_event_s + self._exp(d.mean_online_s)
-                self.env.schedule(delay, self._make_go_offline(client_id))
+                self._schedule(delay, "go_offline", (client_id,))
         if d.slowdown_rate_per_s > 0:
-            self.env.schedule(
+            self._schedule(
                 d.first_event_s + self._exp(1.0 / d.slowdown_rate_per_s),
-                self._slowdown_burst,
+                "slowdown_burst",
             )
         if d.bandwidth_rate_per_s > 0:
-            self.env.schedule(
+            self._schedule(
                 d.first_event_s + self._exp(1.0 / d.bandwidth_rate_per_s),
-                self._bandwidth_event,
+                "bandwidth_event",
             )
 
     def _exp(self, mean: float) -> float:
@@ -117,19 +126,27 @@ class ScenarioDynamics:
     def _stopped(self) -> bool:
         return self._stop_when is not None and self._stop_when()
 
+    # ------------------------------------------------------ event bookkeeping
+    def _schedule(self, delay: float, kind: str, args: tuple = ()) -> Event:
+        """Schedule a declarative dynamics event ``delay`` seconds from now."""
+        return self._schedule_at(self.env.now + delay, kind, args)
+
+    def _schedule_at(self, time: float, kind: str, args: tuple) -> Event:
+        handle = self._next_handle
+        self._next_handle += 1
+        event = self.env.schedule_at(time, lambda: self._fire(handle))
+        self._pending[handle] = (event, kind, tuple(args))
+        return event
+
+    def _fire(self, handle: int) -> None:
+        _event, kind, args = self._pending.pop(handle)
+        self._DISPATCH[kind](self, *args)
+
+    def pending_count(self) -> int:
+        """Dynamics events currently waiting on the queue."""
+        return len(self._pending)
+
     # ------------------------------------------------------------------ churn
-    def _make_go_offline(self, client_id: int) -> Callable[[], None]:
-        def go_offline() -> None:
-            self._go_offline(client_id)
-
-        return go_offline
-
-    def _make_go_online(self, client_id: int) -> Callable[[], None]:
-        def go_online() -> None:
-            self._go_online(client_id)
-
-        return go_online
-
     def _go_offline(self, client_id: int) -> None:
         if self._stopped():
             return
@@ -142,18 +159,18 @@ class ScenarioDynamics:
         ):
             # Taking this client down would leave too few online (or it is
             # already down): skip this window and try again later.
-            self.env.schedule(self._exp(d.mean_online_s), self._make_go_offline(client_id))
+            self._schedule(self._exp(d.mean_online_s), "go_offline", (client_id,))
             return
         self.offline_events += 1
         self.cluster.set_client_offline(client_id)
-        self.env.schedule(self._exp(d.mean_offline_s), self._make_go_online(client_id))
+        self._schedule(self._exp(d.mean_offline_s), "go_online", (client_id,))
 
     def _go_online(self, client_id: int) -> None:
         if self._stopped():
             return
         self.online_events += 1
         self.cluster.set_client_online(client_id)
-        self.env.schedule(self._exp(self.dynamics.mean_online_s), self._make_go_offline(client_id))
+        self._schedule(self._exp(self.dynamics.mean_online_s), "go_offline", (client_id,))
 
     # ------------------------------------------------------- slowdown bursts
     def _slowdown_burst(self) -> None:
@@ -166,23 +183,20 @@ class ScenarioDynamics:
             self.slowdown_events += 1
             self._active_slowdowns[client_id] = self._active_slowdowns.get(client_id, 0) + 1
             self.cluster.scale_client_speed(client_id, 1.0 / d.slowdown_factor)
-            self.env.schedule(self._exp(d.mean_slowdown_s), self._make_restore_speed(client_id))
-        self.env.schedule(self._exp(1.0 / d.slowdown_rate_per_s), self._slowdown_burst)
+            self._schedule(self._exp(d.mean_slowdown_s), "restore_speed", (client_id,))
+        self._schedule(self._exp(1.0 / d.slowdown_rate_per_s), "slowdown_burst")
 
-    def _make_restore_speed(self, client_id: int) -> Callable[[], None]:
-        def restore() -> None:
-            # Bursts always end, even after stop_when flips: leaving a
-            # permanently slowed client behind would corrupt diagnostics.
-            depth = self._active_slowdowns.get(client_id, 0)
-            if depth <= 0:
-                return
-            if depth == 1:
-                self._active_slowdowns.pop(client_id, None)
-            else:
-                self._active_slowdowns[client_id] = depth - 1
-            self.cluster.scale_client_speed(client_id, self.dynamics.slowdown_factor)
-
-        return restore
+    def _restore_speed(self, client_id: int) -> None:
+        # Bursts always end, even after stop_when flips: leaving a
+        # permanently slowed client behind would corrupt diagnostics.
+        depth = self._active_slowdowns.get(client_id, 0)
+        if depth <= 0:
+            return
+        if depth == 1:
+            self._active_slowdowns.pop(client_id, None)
+        else:
+            self._active_slowdowns[client_id] = depth - 1
+        self.cluster.scale_client_speed(client_id, self.dynamics.slowdown_factor)
 
     # -------------------------------------------------------- bandwidth traces
     def _bandwidth_event(self) -> None:
@@ -197,18 +211,80 @@ class ScenarioDynamics:
         token = self._link_trace_counter
         self._link_trace_tokens[client_id] = token
         self.cluster.set_link_factor(client_id, factor)
-        self.env.schedule(
-            self._exp(d.mean_bandwidth_hold_s), self._make_restore_link(client_id, token)
+        self._schedule(self._exp(d.mean_bandwidth_hold_s), "restore_link", (client_id, token))
+        self._schedule(self._exp(1.0 / d.bandwidth_rate_per_s), "bandwidth_event")
+
+    def _restore_link(self, client_id: int, token: int) -> None:
+        # A newer trace superseded this one: its own restore (scheduled
+        # later) owns the revert; restoring now would cut its hold short.
+        if self._link_trace_tokens.get(client_id) != token:
+            return
+        self._link_trace_tokens.pop(client_id, None)
+        self.cluster.set_link_factor(client_id, 1.0)
+
+    #: Declarative event kinds: every scheduled dynamics event is one of
+    #: these method names plus plain-data args, so the pending set is
+    #: serializable for checkpoints.
+    _DISPATCH: Dict[str, Callable] = {
+        "go_offline": _go_offline,
+        "go_online": _go_online,
+        "slowdown_burst": _slowdown_burst,
+        "restore_speed": _restore_speed,
+        "bandwidth_event": _bandwidth_event,
+        "restore_link": _restore_link,
+    }
+
+    # ------------------------------------------------------ checkpoint seams
+    def capture_state(self) -> dict:
+        """Serializable snapshot: rng stream, counters, pending events."""
+        pending = sorted(
+            (
+                (event.time, event.sequence, kind, list(args))
+                for event, kind, args in self._pending.values()
+                if not event.cancelled
+            ),
+            key=lambda entry: (entry[0], entry[1]),
         )
-        self.env.schedule(self._exp(1.0 / d.bandwidth_rate_per_s), self._bandwidth_event)
+        return {
+            "rng": self._rng.bit_generator.state,
+            "installed": self._installed,
+            "offline_events": self.offline_events,
+            "online_events": self.online_events,
+            "slowdown_events": self.slowdown_events,
+            "bandwidth_events": self.bandwidth_events,
+            "active_slowdowns": dict(self._active_slowdowns),
+            "link_trace_tokens": dict(self._link_trace_tokens),
+            "link_trace_counter": self._link_trace_counter,
+            "pending": pending,
+        }
 
-    def _make_restore_link(self, client_id: int, token: int) -> Callable[[], None]:
-        def restore() -> None:
-            # A newer trace superseded this one: its own restore (scheduled
-            # later) owns the revert; restoring now would cut its hold short.
-            if self._link_trace_tokens.get(client_id) != token:
-                return
-            self._link_trace_tokens.pop(client_id, None)
-            self.cluster.set_link_factor(client_id, 1.0)
+    def cancel_pending(self) -> None:
+        """Cancel every scheduled dynamics event (resume replaces them)."""
+        for event, _kind, _args in self._pending.values():
+            event.cancel()
+        self._pending.clear()
 
-        return restore
+    def restore_state(self, state: dict) -> None:
+        """Restore counters and the rng stream from :meth:`capture_state`.
+
+        Pending events are *not* rescheduled here: the checkpoint
+        orchestrator replays them via :meth:`schedule_restored` in the
+        globally merged (time, sequence) order so cross-component ties
+        resolve exactly as in the uninterrupted run.
+        """
+        self.cancel_pending()
+        self._rng.bit_generator.state = state["rng"]
+        self._installed = bool(state["installed"])
+        self.offline_events = int(state["offline_events"])
+        self.online_events = int(state["online_events"])
+        self.slowdown_events = int(state["slowdown_events"])
+        self.bandwidth_events = int(state["bandwidth_events"])
+        self._active_slowdowns = dict(state["active_slowdowns"])
+        self._link_trace_tokens = dict(state["link_trace_tokens"])
+        self._link_trace_counter = int(state["link_trace_counter"])
+
+    def schedule_restored(self, time: float, kind: str, args: list) -> Event:
+        """Re-schedule one captured pending event at its absolute time."""
+        if kind not in self._DISPATCH:
+            raise ValueError(f"unknown dynamics event kind {kind!r}")
+        return self._schedule_at(time, kind, tuple(args))

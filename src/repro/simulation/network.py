@@ -11,7 +11,7 @@ event after a per-link latency plus a size-dependent transmission time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -276,3 +276,87 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += size
         return message
+
+    # ------------------------------------------------------ checkpoint seams
+    def capture_in_flight(self) -> List[dict]:
+        """Serializable snapshot of every in-flight message.
+
+        Entries are ordered by their delivery event's ``(time, sequence)``
+        so a resumed run can re-schedule them in the exact order the
+        uninterrupted run would have fired them.  Payloads are captured by
+        reference: the checkpoint serializer deep-copies the whole snapshot
+        in one pass.
+        """
+        captured = []
+        for message, event in self._in_flight.values():
+            captured.append(
+                {
+                    "sender": message.sender,
+                    "recipient": message.recipient,
+                    "kind": message.kind,
+                    "payload": message.payload,
+                    "round_number": message.round_number,
+                    "size_bytes": message.size_bytes,
+                    "sent_at": message.sent_at,
+                    "deliver_at": event.time,
+                    "sequence": event.sequence,
+                }
+            )
+        captured.sort(key=lambda entry: (entry["deliver_at"], entry["sequence"]))
+        return captured
+
+    def restore_in_flight(self, entry: dict) -> Message:
+        """Re-create one in-flight message from :meth:`capture_in_flight`.
+
+        The recipient's handler must already be registered (hydrate pool
+        clients first).  Call in capture order: relative delivery order is
+        determined by scheduling order for same-time events.
+        """
+        message = Message(
+            sender=entry["sender"],
+            recipient=entry["recipient"],
+            kind=entry["kind"],
+            payload=entry["payload"],
+            round_number=entry["round_number"],
+            size_bytes=entry["size_bytes"],
+            sent_at=entry["sent_at"],
+        )
+        handler = self._handlers[message.recipient]
+        token = self._next_token
+        self._next_token += 1
+
+        def deliver() -> None:
+            self._in_flight.pop(token, None)
+            if not self.is_online(message.recipient):
+                message.failed = True
+                self.messages_failed += 1
+                return
+            message.delivered_at = self._env.now
+            handler(message)
+
+        event = self._env.schedule_at(entry["deliver_at"], deliver)
+        self._in_flight[token] = (message, event)
+        return message
+
+    def capture_link_overrides(self) -> List[tuple]:
+        """Per-pair link overrides as ((src, dst), latency, bandwidth)."""
+        return [
+            ((src, dst), spec.latency_s, spec.bandwidth_bytes_per_s)
+            for (src, dst), spec in self._links.items()
+        ]
+
+    def restore_link_overrides(self, overrides: List[tuple]) -> None:
+        """Replace all per-pair overrides with a captured set."""
+        self._links.clear()
+        for (src, dst), latency, bandwidth in overrides:
+            self._links[(src, dst)] = LinkSpec(
+                latency_s=latency, bandwidth_bytes_per_s=bandwidth
+            )
+
+    def capture_offline(self) -> List[Any]:
+        """The currently disconnected node ids (sorted for determinism)."""
+        return sorted(self._offline, key=repr)
+
+    def restore_offline(self, node_ids: List[Any]) -> None:
+        """Replace the offline set (no disconnect side effects are fired)."""
+        self._offline = set(node_ids)

@@ -284,6 +284,68 @@ class VirtualClientPool:
                 return True
         return False
 
+    # ------------------------------------------------------ checkpoint seams
+    def capture_state(self) -> Optional[dict]:
+        """Serializable snapshot of the whole pool, or ``None`` to refuse.
+
+        Hydrated clients are captured through
+        :meth:`FLClient.capture_execution_state` (full mid-run state);
+        dehydrated ones contribute their descriptor record.  The hydrated
+        set is recorded in LRU order so a resumed pool makes identical
+        eviction choices.  Any hydrated client that refuses capture (e.g.
+        mid-offload-training) makes the whole pool refuse.
+        """
+        hydrated = []
+        for client_id, slot in self._active.items():
+            if slot.client is None:  # pragma: no cover - defensive
+                return None
+            state = slot.client.capture_execution_state()
+            if state is None:
+                return None
+            hydrated.append((client_id, state))
+        descriptors = {
+            d.client_id: {
+                "saved_state": d.saved_state,
+                "hydrations": d.hydrations,
+                "pending_disconnects": d.pending_disconnects,
+            }
+            for d in self.descriptors.values()
+        }
+        return {
+            "hydrated": hydrated,
+            "descriptors": descriptors,
+            "pinned": sorted(self._pinned),
+            "hydrations": self.hydrations,
+            "evictions": self.evictions,
+            "slots_built": self.slots_built,
+            "peak_hydrated": self.peak_hydrated,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`capture_state` onto a fresh pool.
+
+        Must run before in-flight network messages are restored: hydration
+        re-registers each client's network handler.  Diagnostics counters
+        are overwritten last so restore-time hydrations do not inflate
+        them past the captured values.
+        """
+        if self._active:  # pragma: no cover - defensive
+            raise RuntimeError("can only restore into a freshly built pool")
+        for client_id, entry in state["descriptors"].items():
+            descriptor = self.descriptors[client_id]
+            descriptor.saved_state = entry["saved_state"]
+            descriptor.pending_disconnects = entry["pending_disconnects"]
+        for client_id, client_state in state["hydrated"]:
+            client = self.hydrate(client_id)
+            client.restore_execution_state(client_state)
+        self._pinned = frozenset(state["pinned"])
+        for client_id, entry in state["descriptors"].items():
+            self.descriptors[client_id].hydrations = entry["hydrations"]
+        self.hydrations = state["hydrations"]
+        self.evictions = state["evictions"]
+        self.slots_built = state["slots_built"]
+        self.peak_hydrated = state["peak_hydrated"]
+
     def dehydrate(self, client_id: int) -> None:
         """Evict a client: persist its loader position, free its shard.
 

@@ -1,0 +1,107 @@
+"""Crash-injection harness for the checkpoint/resume tests.
+
+Importable from the test suite *and* runnable as a subprocess entry
+point::
+
+    python tests/crash_harness.py <config.json> <store_dir> <crash_round>
+
+The child starts a store-backed run of the given configuration and
+SIGKILLs itself the instant the round listener sees ``crash_round``
+finalize — a real, unclean death (no atexit handlers, no flushing, no
+``finally`` blocks), exactly what the resume path must survive.  The
+parent side (:func:`run_and_crash`) asserts the child actually died from
+the signal, then resumes in-process and compares byte-for-byte against
+an uninterrupted golden run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+for entry in (str(SRC_ROOT), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.fl.config import DynamicsConfig, ExperimentConfig, ResourceConfig
+
+
+# ----------------------------------------------------------- config transport
+def config_to_dict(config: ExperimentConfig) -> dict:
+    """JSON-safe dict round-trippable through :func:`config_from_dict`."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(payload: dict) -> ExperimentConfig:
+    payload = dict(payload)
+    payload["resources"] = ResourceConfig(**payload["resources"])
+    payload["dynamics"] = DynamicsConfig(**payload["dynamics"])
+    return ExperimentConfig(**payload)
+
+
+# -------------------------------------------------------------- parent side
+def run_and_crash(config: ExperimentConfig, store_dir: Path, crash_round: int) -> None:
+    """Run ``config`` against ``store_dir`` in a subprocess killed with
+    SIGKILL when round ``crash_round`` finalizes; asserts the kill landed."""
+    store_dir = Path(store_dir).resolve()  # the child runs from REPO_ROOT
+    store_dir.mkdir(parents=True, exist_ok=True)
+    config_path = store_dir / "crash-config.json"
+    config_path.write_text(json.dumps(config_to_dict(config)))
+    env = dict(os.environ)
+    env["REPRO_SCALE"] = "smoke"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_ROOT), str(REPO_ROOT), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    completed = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), str(config_path), str(store_dir), str(crash_round)],
+        env=env,
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == -signal.SIGKILL, (
+        f"crash child should die from SIGKILL at round {crash_round}, got "
+        f"returncode {completed.returncode}\nstdout: {completed.stdout}\n"
+        f"stderr: {completed.stderr}"
+    )
+
+
+def read_rounds_bytes(store_dir: Path, key: str) -> bytes:
+    from repro.api.store import RunStore
+
+    return (RunStore(store_dir).run_dir(key) / "rounds.jsonl").read_bytes()
+
+
+def round_dicts(result) -> List[dict]:
+    return [dataclasses.asdict(record) for record in result.rounds]
+
+
+# --------------------------------------------------------------- child side
+def _child_main(argv: List[str]) -> int:
+    from repro.api import RunStore
+    from repro.api.handles import run
+
+    config_path, store_dir, crash_round = argv[0], argv[1], int(argv[2])
+    config = config_from_dict(json.loads(Path(config_path).read_text()))
+
+    def crash_on_round(record) -> None:
+        if record.round_number >= crash_round:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    handle = run(config, store=RunStore(store_dir), on_round=crash_on_round)
+    handle.result()
+    # Reachable only if crash_round was beyond the run's horizon.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_child_main(sys.argv[1:]))

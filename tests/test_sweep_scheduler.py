@@ -1,0 +1,277 @@
+"""Property tests for the budget-aware sweep scheduler's state machine.
+
+The scheduler's guarantees under test:
+
+* a cell only ever moves along the legal edges
+  (``pending -> running -> complete|failed``, ``pending ->
+  complete`` on a store hit, ``pending -> budget_exceeded`` on
+  exhaustion) — anything else raises :class:`IllegalTransition`;
+* budget exhaustion marks every remaining cell ``budget_exceeded``,
+  **never** ``failed`` (failure is reserved for cells that actually ran
+  and raised), and never interrupts the cell that is running;
+* a resumed sweep executes exactly the not-yet-complete cells, each
+  once — store-complete cells are served from disk and cost no budget.
+
+Executors and clocks are injected, so the properties hold independently
+of the experiment engine (randomized walks use seeded ``random``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.experiments.scheduler import (
+    LEGAL_TRANSITIONS,
+    BudgetTracker,
+    CellState,
+    IllegalTransition,
+    SweepScheduler,
+)
+from repro.fl.config import ExperimentConfig
+
+
+def configs(n):
+    return {f"cell-{i}": ExperimentConfig(rounds=1, seed=i) for i in range(n)}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class FakeStore:
+    """Duck-typed stand-in: the scheduler only calls ``get``."""
+
+    def __init__(self, complete_labels=()):
+        self.complete = set(complete_labels)
+        self.lookups = []
+
+    def get(self, config):
+        self.lookups.append(config)
+        if f"cell-{config.seed}" in self.complete:
+            return _FakeStored(f"result-{config.seed}")
+        return None
+
+
+class _FakeStored:
+    def __init__(self, payload):
+        self.payload = payload
+
+    def load_result(self):
+        return self.payload
+
+
+# ---------------------------------------------------------------------------
+# The transition relation itself
+# ---------------------------------------------------------------------------
+def test_every_state_transition_pair_is_classified():
+    scheduler = SweepScheduler(configs(1))
+    for old, new in itertools.product(CellState.ALL, CellState.ALL):
+        scheduler.states["cell-0"] = old
+        if new in LEGAL_TRANSITIONS[old]:
+            scheduler.transition("cell-0", new)
+            assert scheduler.states["cell-0"] == new
+        else:
+            with pytest.raises(IllegalTransition):
+                scheduler.transition("cell-0", new)
+            assert scheduler.states["cell-0"] == old, "failed transition must not move"
+
+
+def test_random_transition_walks_never_leave_legal_states():
+    rng = random.Random(0xC0FFEE)
+    for _trial in range(200):
+        scheduler = SweepScheduler(configs(1))
+        for _step in range(12):
+            target = rng.choice(CellState.ALL)
+            state = scheduler.states["cell-0"]
+            try:
+                scheduler.transition("cell-0", target)
+            except IllegalTransition:
+                assert target not in LEGAL_TRANSITIONS[state]
+            else:
+                assert target in LEGAL_TRANSITIONS[state]
+            assert scheduler.states["cell-0"] in CellState.ALL
+
+
+def test_terminal_states_have_no_outgoing_edges():
+    for terminal in (CellState.COMPLETE, CellState.FAILED, CellState.BUDGET_EXCEEDED):
+        assert LEGAL_TRANSITIONS[terminal] == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Budget semantics
+# ---------------------------------------------------------------------------
+def test_wall_budget_exhaustion_marks_rest_budget_exceeded_never_failed():
+    clock = FakeClock()
+
+    def executor(label, config):
+        clock.advance(10.0)
+        return f"ran-{label}", 10.0
+
+    scheduler = SweepScheduler(
+        configs(5),
+        budget=BudgetTracker(wall_seconds=25.0, clock=clock),
+        executor=executor,
+    )
+    handle = scheduler.run()
+    # Checked before each cell: starts at t=0, 10, 20 run; t=30 >= 25 stops.
+    states = list(scheduler.states.values())
+    assert states == [
+        CellState.COMPLETE,
+        CellState.COMPLETE,
+        CellState.COMPLETE,
+        CellState.BUDGET_EXCEEDED,
+        CellState.BUDGET_EXCEEDED,
+    ]
+    assert CellState.FAILED not in states
+    assert handle.states == scheduler.states
+    assert sorted(handle.results) == ["cell-0", "cell-1", "cell-2"]
+
+
+def test_running_cell_always_finishes_despite_mid_cell_exhaustion():
+    clock = FakeClock()
+    finished = []
+
+    def executor(label, config):
+        clock.advance(1000.0)  # blows way past the budget mid-cell
+        finished.append(label)
+        return f"ran-{label}", 1000.0
+
+    scheduler = SweepScheduler(
+        configs(3),
+        budget=BudgetTracker(wall_seconds=5.0, clock=clock),
+        executor=executor,
+    )
+    scheduler.run()
+    assert finished == ["cell-0"], "first cell runs to completion, rest never start"
+    assert scheduler.states["cell-0"] == CellState.COMPLETE
+    assert scheduler.states["cell-1"] == CellState.BUDGET_EXCEEDED
+    assert scheduler.states["cell-2"] == CellState.BUDGET_EXCEEDED
+
+
+def test_max_cells_budget_counts_executed_cells_only():
+    store = FakeStore(complete_labels={"cell-0", "cell-1"})
+    executed = []
+
+    def executor(label, config):
+        executed.append(label)
+        return f"ran-{label}", 1.0
+
+    scheduler = SweepScheduler(
+        configs(4),
+        store=store,
+        budget=BudgetTracker(max_cells=1),
+        executor=executor,
+    )
+    handle = scheduler.run()
+    # Store hits are free; the one-cell budget covers exactly one execution.
+    assert executed == ["cell-2"]
+    assert scheduler.states["cell-0"] == CellState.COMPLETE
+    assert scheduler.states["cell-1"] == CellState.COMPLETE
+    assert scheduler.states["cell-2"] == CellState.COMPLETE
+    assert scheduler.states["cell-3"] == CellState.BUDGET_EXCEEDED
+    assert sorted(handle.store_hits) == ["cell-0", "cell-1"]
+
+
+def test_unlimited_budget_never_exhausts():
+    tracker = BudgetTracker()
+    tracker.start()
+    for _ in range(1000):
+        tracker.note_cell()
+    assert not tracker.exhausted()
+    assert not tracker.limited
+
+
+def test_budget_tracker_rejects_negative_limits():
+    with pytest.raises(ValueError):
+        BudgetTracker(wall_seconds=-1.0)
+    with pytest.raises(ValueError):
+        BudgetTracker(max_cells=-1)
+
+
+# ---------------------------------------------------------------------------
+# Failure isolation
+# ---------------------------------------------------------------------------
+def test_failing_cell_marked_failed_and_sweep_continues():
+    def executor(label, config):
+        if label == "cell-1":
+            raise RuntimeError("boom")
+        return f"ran-{label}", 1.0
+
+    scheduler = SweepScheduler(configs(3), executor=executor)
+    handle = scheduler.run()
+    assert scheduler.states == {
+        "cell-0": CellState.COMPLETE,
+        "cell-1": CellState.FAILED,
+        "cell-2": CellState.COMPLETE,
+    }
+    assert isinstance(handle.errors["cell-1"], RuntimeError)
+    assert sorted(handle.results) == ["cell-0", "cell-2"]
+
+
+# ---------------------------------------------------------------------------
+# Resumed sweeps
+# ---------------------------------------------------------------------------
+def test_resumed_sweep_executes_exactly_the_non_complete_cells_once():
+    rng = random.Random(2024)
+    for _trial in range(50):
+        n = rng.randint(1, 8)
+        already_complete = {f"cell-{i}" for i in range(n) if rng.random() < 0.5}
+        store = FakeStore(complete_labels=already_complete)
+        executed = []
+
+        def executor(label, config):
+            executed.append(label)
+            return f"ran-{label}", 1.0
+
+        scheduler = SweepScheduler(configs(n), store=store, resume=True, executor=executor)
+        handle = scheduler.run()
+
+        expected = [f"cell-{i}" for i in range(n) if f"cell-{i}" not in already_complete]
+        assert executed == expected, "each non-complete cell executes exactly once"
+        assert set(scheduler.states.values()) <= {CellState.COMPLETE}
+        assert sorted(handle.store_hits) == sorted(already_complete)
+        assert len(handle.results) == n
+
+
+def test_two_phase_sweep_with_budget_then_resume_covers_every_cell():
+    """A budget-cut first pass plus a resumed second pass covers the grid."""
+    clock = FakeClock()
+
+    def executor(label, config):
+        clock.advance(10.0)
+        return f"ran-{label}", 10.0
+
+    first = SweepScheduler(
+        configs(6),
+        budget=BudgetTracker(wall_seconds=20.0, clock=clock),
+        executor=executor,
+    )
+    first.run()
+    done_after_first = {
+        label for label, state in first.states.items() if state == CellState.COMPLETE
+    }
+    assert 0 < len(done_after_first) < 6
+
+    store = FakeStore(complete_labels=done_after_first)
+    executed_second = []
+
+    def executor2(label, config):
+        executed_second.append(label)
+        return f"ran-{label}", 1.0
+
+    second = SweepScheduler(configs(6), store=store, resume=True, executor=executor2)
+    second.run()
+    assert set(second.states.values()) == {CellState.COMPLETE}
+    assert sorted(executed_second) == sorted(
+        label for label in first.states if label not in done_after_first
+    )
