@@ -192,6 +192,7 @@ class RunWriter:
                 "dataset": result.dataset,
                 "config": _jsonable(result.config),
                 "setup_time": result.setup_time,
+                "network": _jsonable(dict(result.network)),
             },
         )
         self._write_manifest()
@@ -309,6 +310,8 @@ class StoredRun:
             config=dict(meta["config"]),
             setup_time=float(meta["setup_time"]),
             rounds=rounds,
+            # Manifests from before the transport work carry no counters.
+            network={str(k): float(v) for k, v in meta.get("network", {}).items()},
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -547,6 +550,17 @@ class Results:
         }
         return render_summaries(
             summaries, title=title or f"stored results: {self.store.root}"
+        )
+
+    def render_network(self, title: str = "", **filters: object) -> str:
+        """Network/transport counter table (empty string when none recorded)."""
+        from repro.experiments.report import render_network_counters
+
+        summaries = {
+            label: summary for label, summary in self.summaries(**filters).items() if summary
+        }
+        return render_network_counters(
+            summaries, title=title or "network/transport counters"
         )
 
     def render_round_durations(self, **filters: object) -> str:

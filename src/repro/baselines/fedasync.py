@@ -173,7 +173,7 @@ class AsyncFederatorBase(BaseFederator):
             "profile_batches": 0,
             "report_profile": False,
         }
-        self.network.send(
+        self.transport.send(
             FEDERATOR_ID,
             client_id,
             MessageKind.TRAIN_REQUEST,
@@ -228,6 +228,29 @@ class AsyncFederatorBase(BaseFederator):
             self._round_pending = False
             self._window_start = self.env.now
         self._dispatch(client_id)
+
+    def _on_transport_expiry(self, entry: dict) -> None:
+        """A task message exhausted its retransmissions: abandon the task.
+
+        Mirrors :meth:`on_client_dropout` — the task died in transit rather
+        than with its client — and re-offers the freed concurrency slot to
+        every idle online client (including the affected one, which simply
+        receives a fresh task with a new id).
+        """
+        if entry["kind"] not in (MessageKind.TRAIN_REQUEST, MessageKind.TRAIN_RESULT):
+            return
+        client_id = (
+            entry["recipient"] if entry["sender"] == FEDERATOR_ID else entry["sender"]
+        )
+        dispatch = self._in_flight.get(client_id)
+        if dispatch is None or dispatch.task_id != entry["round_number"]:
+            return  # the task was already superseded or completed
+        del self._in_flight[client_id]
+        self._window_dropped.append(client_id)
+        for idle_id in self.selectable_clients():
+            if self.finished or len(self._in_flight) >= self.concurrency:
+                break
+            self._dispatch(idle_id)
 
     # ------------------------------------------------------ checkpoint seams
     def _capture_extra_state(self) -> Optional[dict]:
@@ -290,6 +313,7 @@ class AsyncFederatorBase(BaseFederator):
             test_loss=test_loss,
             mean_train_loss=average_metric(self._window_losses, self._window_sizes),
         )
+        self._record_network(record)
         self.result.add_round(record)
         self.result.setup_time = self.setup_time
         self._rounds_completed += 1

@@ -44,7 +44,7 @@ from repro.experiments.parallel import (
     resolve_workers,
     run_configs_parallel,
 )
-from repro.experiments.report import render_summaries, render_table1
+from repro.experiments.report import render_network_counters, render_summaries, render_table1
 from repro.experiments.runner import run_configs
 from repro.experiments.workloads import (
     SCALES,
@@ -570,6 +570,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({args.partition}, {scale.name} scale, {args.scenario} scenario)",
         )
     )
+    network_table = render_network_counters(summaries, title="network/transport counters")
+    if network_table:
+        print()
+        print(network_table)
     print(f"\nwall-clock: {elapsed:.2f}s{cached}")
     return 0
 
@@ -658,6 +662,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"repro report: no complete runs in {args.results_dir}", file=sys.stderr)
         return 1
     print(results.render_summary(**filters))
+    network_table = results.render_network(**filters)
+    if network_table:
+        print()
+        print(network_table)
     print()
     print(results.render_round_durations(**filters))
     return 0

@@ -131,7 +131,7 @@ class AergiaFederator(BaseFederator):
         number (authenticity is trivially satisfied inside the simulator).
         """
         for assignment in plan:
-            self.network.send(
+            self.transport.send(
                 FEDERATOR_ID,
                 assignment.weak_client,
                 MessageKind.OFFLOAD_INSTRUCTION,
@@ -141,7 +141,7 @@ class AergiaFederator(BaseFederator):
                 },
                 round_number=state.round_number,
             )
-            self.network.send(
+            self.transport.send(
                 FEDERATOR_ID,
                 assignment.strong_client,
                 MessageKind.OFFLOAD_EXPECT,

@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.experiments.runner import SuiteResult, run_configs
-from repro.fl.config import ExperimentConfig
+from repro.fl.config import ExperimentConfig, TransportConfig
 from repro.fl.metrics import ExperimentResult, RoundRecord
 from repro.fl.runtime import run_experiment
 
@@ -88,6 +88,14 @@ def canonical_config(config: ExperimentConfig) -> Dict[str, object]:
     canonical = _canonical(dataclasses.asdict(config))
     for field_name in EXECUTION_FIELDS:
         canonical.pop(field_name, None)
+    # A null transport is bitwise identical to the historical network
+    # (pinned by tests/test_golden_baselines.py), so it is dropped from the
+    # canonical form: archives written before the field existed keep their
+    # keys.  A non-null transport changes results and therefore the key.
+    if canonical.get("transport") == _canonical(
+        dataclasses.asdict(TransportConfig())
+    ):
+        canonical.pop("transport", None)
     return canonical
 
 
@@ -126,13 +134,16 @@ def config_hash(config: ExperimentConfig) -> str:
 # Result (de)serialization — everything in ExperimentResult is JSON-native
 # ---------------------------------------------------------------------------
 def _result_to_payload(result: ExperimentResult) -> Dict[str, object]:
-    return {
+    payload: Dict[str, object] = {
         "algorithm": result.algorithm,
         "dataset": result.dataset,
         "config": result.config,
         "setup_time": result.setup_time,
         "rounds": [dataclasses.asdict(record) for record in result.rounds],
     }
+    if result.network:
+        payload["network"] = dict(result.network)
+    return payload
 
 
 def _result_from_payload(payload: Mapping[str, object]) -> ExperimentResult:
@@ -142,6 +153,7 @@ def _result_from_payload(payload: Mapping[str, object]) -> ExperimentResult:
         config=dict(payload["config"]),  # type: ignore[arg-type]
         setup_time=float(payload["setup_time"]),  # type: ignore[arg-type]
         rounds=[RoundRecord(**record) for record in payload["rounds"]],  # type: ignore[union-attr]
+        network=dict(payload.get("network", {})),  # type: ignore[arg-type]
     )
 
 

@@ -115,3 +115,25 @@ def render_summaries(summaries: Mapping[str, Mapping[str, float]], title: str = 
         for label, summary in summaries.items()
     ]
     return format_table(headers, rows, title=title)
+
+
+def render_network_counters(
+    summaries: Mapping[str, Mapping[str, float]], title: str = ""
+) -> str:
+    """Render the per-label network/transport counters (``net_*`` summary keys).
+
+    Returns an empty string when no summary carries network counters (runs
+    recorded before the counters existed), so callers can print the result
+    unconditionally.
+    """
+    keys: List[str] = sorted(
+        {key for summary in summaries.values() for key in summary if key.startswith("net_")}
+    )
+    if not keys:
+        return ""
+    headers = ["label", *(key[len("net_"):] for key in keys)]
+    rows = [
+        [label, *(float(summary.get(key, 0.0)) for key in keys)]
+        for label, summary in summaries.items()
+    ]
+    return format_table(headers, rows, title=title, float_format="{:.0f}")

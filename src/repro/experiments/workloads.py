@@ -20,7 +20,7 @@ import os
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Tuple
 
-from repro.fl.config import DynamicsConfig, ExperimentConfig, ResourceConfig
+from repro.fl.config import DynamicsConfig, ExperimentConfig, ResourceConfig, TransportConfig
 from repro.registry import (
     DATASETS,
     SCALE_PROFILES,
@@ -257,6 +257,84 @@ def _mega_churn_scenario(f: float) -> DynamicsConfig:
     )
 
 
+# Transport-fault scenarios: the builder still returns the DynamicsConfig
+# (loss bursts, churn, the client-timeout backstop); the TransportConfig
+# knobs ride on the registration metadata and are resolved by
+# :func:`scenario_transport`, with time-like knobs stretched like the
+# dynamics time constants.
+@register_scenario(
+    "lossy",
+    description="drop/duplicate/reorder/corrupt faults on every link, "
+    "recovered by the reliable-delivery middleware (ACK + retransmit)",
+    transport={
+        "drop_rate": 0.15,
+        "duplicate_rate": 0.05,
+        "reorder_rate": 0.1,
+        "reorder_max_delay_s": 0.05,
+        "corrupt_rate": 0.02,
+        "reliable": True,
+        "ack_timeout_s": 0.35,
+        "max_attempts": 4,
+    },
+)
+def _lossy_scenario(f: float) -> DynamicsConfig:
+    # The per-client timeout is the belt-and-braces bound: transport expiry
+    # (ack_timeout_s * (1 + 2 + 4 + 8) * jitter, ~6f worst case) normally
+    # degrades the round first, so no round ever hangs past it.
+    return DynamicsConfig(scenario="lossy", client_timeout_s=8.0 * f)
+
+
+@register_scenario(
+    "lossy-churn",
+    description="lossy links and churning clients at once: retransmissions "
+    "race disconnects, expired sends degrade the round",
+    transport={
+        "drop_rate": 0.12,
+        "duplicate_rate": 0.05,
+        "reorder_rate": 0.08,
+        "reorder_max_delay_s": 0.05,
+        "corrupt_rate": 0.02,
+        "reliable": True,
+        "ack_timeout_s": 0.35,
+        "max_attempts": 4,
+    },
+)
+def _lossy_churn_scenario(f: float) -> DynamicsConfig:
+    return DynamicsConfig(
+        scenario="lossy-churn",
+        churn=True,
+        mean_online_s=2.5 * f,
+        mean_offline_s=0.8 * f,
+        min_online_clients=1,
+        first_event_s=0.3 * f,
+        client_timeout_s=8.0 * f,
+    )
+
+
+@register_scenario(
+    "partition-storm",
+    description="random client links collapse to 90% loss in bursts; "
+    "rounds finalize on a 3/4 quorum instead of waiting out the partition",
+    transport={
+        "drop_rate": 0.05,
+        "duplicate_rate": 0.03,
+        "reliable": True,
+        "ack_timeout_s": 0.35,
+        "max_attempts": 4,
+        "quorum_fraction": 0.75,
+    },
+)
+def _partition_storm_scenario(f: float) -> DynamicsConfig:
+    return DynamicsConfig(
+        scenario="partition-storm",
+        loss_burst_rate_per_s=1.5 / f,
+        loss_burst_drop_rate=0.9,
+        mean_loss_burst_s=1.2 * f,
+        first_event_s=0.1 * f,
+        client_timeout_s=8.0 * f,
+    )
+
+
 def available_scenarios() -> Tuple[str, ...]:
     """All registered scenarios, sorted (with ``stable`` first)."""
     names = sorted(name for name in SCENARIOS.names() if name != "stable")
@@ -280,6 +358,33 @@ def scenario_dynamics(name: str, scale: Optional[ScaleProfile] = None) -> Dynami
     if scale is not None:
         stretch = (scale.local_updates * scale.batch_size) / _SMOKE_ROUND_WORK
     return builder(stretch)
+
+
+#: TransportConfig knobs that are virtual-time durations (stretched with
+#: the scale profile, like the dynamics time constants).
+_TRANSPORT_TIME_KNOBS = ("ack_timeout_s", "reorder_max_delay_s")
+
+
+def scenario_transport(name: str, scale: Optional[ScaleProfile] = None) -> TransportConfig:
+    """The :class:`TransportConfig` a named scenario implies.
+
+    Scenarios attach their transport knobs as ``transport={...}``
+    registration metadata; scenarios without it (all the pre-transport
+    ones) resolve to the null config.  Time-like knobs stretch with the
+    scale profile exactly like :func:`scenario_dynamics` time constants.
+    """
+    SCENARIOS.get(name)  # import the provider so metadata is complete
+    knobs = SCENARIOS.entry(name).metadata.get("transport")
+    if not knobs:
+        return TransportConfig()
+    knobs = dict(knobs)
+    stretch = 1.0
+    if scale is not None:
+        stretch = (scale.local_updates * scale.batch_size) / _SMOKE_ROUND_WORK
+    for knob in _TRANSPORT_TIME_KNOBS:
+        if knob in knobs:
+            knobs[knob] = knobs[knob] * stretch
+    return TransportConfig(**knobs)
 
 
 def known_datasets() -> Tuple[str, ...]:
@@ -351,6 +456,7 @@ def evaluation_config(
         batch_size=scale.batch_size,
         resources=ResourceConfig(scheme="uniform", low=0.1, high=1.0),
         dynamics=scenario_dynamics(scenario if scenario is not None else "stable", scale),
+        transport=scenario_transport(scenario if scenario is not None else "stable", scale),
         seed=seed,
     )
     if overrides:

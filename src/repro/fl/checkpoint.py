@@ -14,6 +14,9 @@ discrete-event simulation deterministic:
   events plus its rng stream,
 * every message in flight on the network, with its original delivery
   ``(time, sequence)``,
+* the reliable transport's channel state (un-ACKed sends with their
+  retransmit timers, dedup sets, jitter rng, counters) together with the
+  network's traffic counters and the fault injector's rng/counters,
 * the simulation clock and all round records emitted so far.
 
 The resume path rebuilds the experiment from its configuration (all
@@ -47,7 +50,7 @@ from typing import List, Optional, Tuple
 
 #: Bump when the snapshot layout changes; stale checkpoints are ignored
 #: (the run restarts from scratch rather than resuming wrongly).
-CHECKPOINT_FORMAT = 1
+CHECKPOINT_FORMAT = 2
 
 
 # --------------------------------------------------------------------- capture
@@ -91,11 +94,15 @@ def capture_snapshot(experiment) -> Optional[dict]:
     pending_batches = sum(
         1 for _cid, state in live_states if state["pending_batch"] is not None
     )
+    transport_state = cluster.transport.capture_state()
+    transport_timers = cluster.transport.pending_count()
 
     # Every pending event must be one we can re-create; anything else (a
     # round timer, a stale event from an untracked source) makes the cut
     # incomplete and the capture refuses.
-    if env.pending_events() != dynamics_pending + len(messages) + pending_batches:
+    if env.pending_events() != (
+        dynamics_pending + len(messages) + pending_batches + transport_timers
+    ):
         return None
 
     return {
@@ -111,6 +118,7 @@ def capture_snapshot(experiment) -> Optional[dict]:
         "cluster": cluster.capture_state(),
         "dynamics": dynamics_state,
         "messages": messages,
+        "transport": transport_state,
     }
 
 
@@ -147,6 +155,10 @@ def restore_snapshot(experiment, snapshot: dict) -> None:
     if experiment.dynamics is not None and snapshot["dynamics"] is not None:
         experiment.dynamics.restore_state(snapshot["dynamics"])
 
+    # Channel state before the merged replay: the retransmit timers below
+    # are re-armed one by one via schedule_restored.
+    cluster.transport.restore_state(snapshot["transport"])
+
     # Re-schedule every captured event in globally merged (time, sequence)
     # order: re-pushing in that order reproduces the uninterrupted run's
     # tie-breaking, and everything scheduled afterwards sorts later — just
@@ -157,6 +169,9 @@ def restore_snapshot(experiment, snapshot: dict) -> None:
             entries.append((time, sequence, ("dynamics", kind, args)))
     for message in snapshot["messages"]:
         entries.append((message["deliver_at"], message["sequence"], ("message", message)))
+    if snapshot["transport"] is not None:
+        for entry in snapshot["transport"]["pending"]:
+            entries.append((entry["fire_at"], entry["sequence"], ("transport", entry)))
     for client_id, state in live_states:
         pending = state["pending_batch"]
         if pending is not None:
@@ -169,6 +184,8 @@ def restore_snapshot(experiment, snapshot: dict) -> None:
             experiment.dynamics.schedule_restored(_time, action[1], action[2])
         elif action[0] == "message":
             cluster.network.restore_in_flight(action[1])
+        elif action[0] == "transport":
+            cluster.transport.schedule_restored(action[1])
         else:  # "batch"
             resolve(action[1]).schedule_restored_batch(_time, action[2])
 

@@ -57,6 +57,7 @@ class FLClient:
         self.cluster = cluster
         self.env = cluster.env
         self.network = cluster.network
+        self.transport = cluster.transport
         self.cost_model = cluster.cost_model
         self.resource = cluster.profile(client_id)
         self.clock = cluster.nodes[client_id].clock
@@ -68,7 +69,7 @@ class FLClient:
         self.class_counts = class_counts
         self.optimizer: Optimizer = self._build_optimizer()
 
-        self.network.register(client_id, self.handle_message)
+        self.transport.register(client_id, self.handle_message)
         cluster.attach_actor(client_id, self)
 
         # Round state (reset at every TRAIN_REQUEST).
@@ -465,7 +466,7 @@ class FLClient:
             remaining_batches=max(self._total_batches - self._batches_done, 0),
         )
         self._profile_sent = True
-        self.network.send(
+        self.transport.send(
             self.client_id,
             FEDERATOR_ID,
             MessageKind.PROFILE_REPORT,
@@ -515,7 +516,7 @@ class FLClient:
             round_number=self._round if self._round is not None else -1,
             batches_to_train=remaining,
         )
-        self.network.send(
+        self.transport.send(
             self.client_id,
             self._offload_target,
             MessageKind.OFFLOADED_MODEL,
@@ -554,7 +555,7 @@ class FLClient:
             finished_at=self.env.now,
         )
         self._result_sent = True
-        self.network.send(
+        self.transport.send(
             self.client_id,
             FEDERATOR_ID,
             MessageKind.TRAIN_RESULT,
@@ -622,7 +623,7 @@ class FLClient:
         self.total_offloads_trained += 1
         self._offload_training_active = False
         self._incoming_package = None
-        self.network.send(
+        self.transport.send(
             self.client_id,
             FEDERATOR_ID,
             MessageKind.OFFLOAD_RESULT,

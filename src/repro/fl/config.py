@@ -114,6 +114,15 @@ class DynamicsConfig:
     bandwidth_high_factor: float = 1.0
     mean_bandwidth_hold_s: float = 3.0
 
+    # Loss bursts: a Poisson process picks a random client and raises the
+    # drop rate of its links to the federator to ``loss_burst_drop_rate``
+    # for an exponentially distributed hold (mean ``mean_loss_burst_s``).
+    # Bursts are absolute overrides on the fault profile, so they bite even
+    # when the transport's base drop_rate is zero.
+    loss_burst_rate_per_s: float = 0.0
+    loss_burst_drop_rate: float = 0.5
+    mean_loss_burst_s: float = 3.0
+
     # Federation-layer tolerance
     client_timeout_s: Optional[float] = None
 
@@ -139,14 +148,124 @@ class DynamicsConfig:
             )
         if self.mean_bandwidth_hold_s <= 0:
             raise ValueError("mean_bandwidth_hold_s must be positive")
+        if self.loss_burst_rate_per_s < 0:
+            raise ValueError("loss_burst_rate_per_s cannot be negative")
+        if not 0 <= self.loss_burst_drop_rate <= 1:
+            raise ValueError("loss_burst_drop_rate must be in [0, 1]")
+        if self.mean_loss_burst_s <= 0:
+            raise ValueError("mean_loss_burst_s must be positive")
         if self.client_timeout_s is not None and self.client_timeout_s <= 0:
             raise ValueError("client_timeout_s must be positive when set")
 
     def is_active(self) -> bool:
         """Whether any time-varying behaviour is enabled at all."""
         return bool(
-            self.churn or self.slowdown_rate_per_s > 0 or self.bandwidth_rate_per_s > 0
+            self.churn
+            or self.slowdown_rate_per_s > 0
+            or self.bandwidth_rate_per_s > 0
+            or self.loss_burst_rate_per_s > 0
         )
+
+
+@dataclass
+class TransportConfig:
+    """Message-level fault injection and the reliable-delivery middleware.
+
+    The default instance is *null* (:meth:`is_null` is ``True``): no faults
+    are injected, no acknowledgements or retransmit timers are scheduled,
+    and the simulation is bitwise identical to the historical fail-stop
+    network.  Like the inert :class:`DynamicsConfig`, a null transport is
+    excluded from ``config_hash``/``run_key`` so existing result archives
+    keep their keys.
+
+    Attributes
+    ----------
+    drop_rate, duplicate_rate, corrupt_rate:
+        Per-message probabilities that the fault injector silently drops a
+        message, delivers it twice, or poisons its payload (a corrupted
+        message is discarded by the receiving channel and never reaches the
+        application handler — only a retransmission can recover it).
+    reorder_rate, reorder_max_delay_s:
+        Probability that a message is held back by an extra uniformly drawn
+        delay in ``(0, reorder_max_delay_s]``, letting later sends overtake
+        it.
+    fault_kinds:
+        Message kinds subject to fault injection; empty means *all* kinds.
+        Transport acknowledgements are never faulted by kind filters but do
+        share the link-level drop/duplicate decisions.
+    reliable:
+        Enable the :class:`repro.fl.transport.ReliableChannel` middleware:
+        every data message carries an id, receivers acknowledge delivery,
+        senders retransmit on ACK timeout with exponential backoff plus
+        seeded jitter, and receivers deduplicate so retransmits and
+        duplicates are applied at most once.
+    ack_timeout_s:
+        Initial ACK timeout before the first retransmission.
+    max_attempts:
+        Total send attempts (first transmission included) before the
+        channel gives up and reports the message as expired.
+    backoff_factor, backoff_jitter:
+        The timeout of attempt *n* is ``ack_timeout_s * backoff_factor**n``
+        stretched by a uniform jitter in ``[1, 1 + backoff_jitter]``.
+    quorum_fraction:
+        Synchronous rounds may finalize once this fraction of the selected
+        clients has reported, when the remaining clients' requests have
+        expired.  1.0 keeps the classic all-or-timeout behaviour.
+    """
+
+    # Fault injection
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_max_delay_s: float = 0.05
+    corrupt_rate: float = 0.0
+    fault_kinds: Sequence[str] = ()
+
+    # Reliable delivery
+    reliable: bool = False
+    ack_timeout_s: float = 1.0
+    max_attempts: int = 4
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    quorum_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1] (got {value})")
+        if self.drop_rate >= 1.0 and self.reliable:
+            raise ValueError("drop_rate must be < 1 with reliable delivery enabled")
+        if self.reorder_max_delay_s <= 0:
+            raise ValueError("reorder_max_delay_s must be positive")
+        if self.ack_timeout_s <= 0:
+            raise ValueError("ack_timeout_s must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter cannot be negative")
+        if not 0 < self.quorum_fraction <= 1:
+            raise ValueError("quorum_fraction must be in (0, 1]")
+        if self.corrupt_rate > 0 and not self.reliable:
+            raise ValueError(
+                "corrupt_rate requires reliable delivery (a corrupted message "
+                "is only recoverable through retransmission)"
+            )
+
+    def injects_faults(self) -> bool:
+        """Whether the injector can ever touch a message."""
+        return bool(
+            self.drop_rate > 0
+            or self.duplicate_rate > 0
+            or self.reorder_rate > 0
+            or self.corrupt_rate > 0
+        )
+
+    def is_null(self) -> bool:
+        """Whether the transport layer is completely inert (pass-through)."""
+        return not self.injects_faults() and not self.reliable
 
 
 @dataclass
@@ -208,6 +327,11 @@ class ExperimentConfig:
     # Scenario dynamics (churn, dropouts, slowdown bursts, bandwidth traces).
     # The default is inert: the cluster is static for the whole run.
     dynamics: DynamicsConfig = field(default_factory=DynamicsConfig)
+
+    # Unreliable transport: fault injection + reliable-delivery middleware.
+    # The default is null (pass-through), bitwise identical to the
+    # historical network, and excluded from config hashing while null.
+    transport: TransportConfig = field(default_factory=TransportConfig)
 
     # Compute engine
     #: Numeric width of the numpy engine: "float32" (fast default),

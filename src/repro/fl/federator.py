@@ -144,6 +144,9 @@ class BaseFederator:
         self.cluster = cluster
         self.env = cluster.env
         self.network = cluster.network
+        #: Message transport (reliable middleware or the direct pass-through);
+        #: every federator send and the handler registration route through it.
+        self.transport = cluster.transport
         self.config = config
         self.global_model = global_model
         self.global_weights: Weights = global_model.get_weights()
@@ -174,7 +177,16 @@ class BaseFederator:
             dataset=config.dataset,
             config=config.describe(),
         )
-        self.network.register(FEDERATOR_ID, self.handle_message)
+        #: Whether the unreliable-transport machinery is live for this run
+        #: (fault injection and/or reliable delivery); gates the per-round
+        #: fault-counter extras so null-transport records stay unchanged.
+        self._transport_active = (
+            cluster.network.fault_profile is not None or self.transport.reliable
+        )
+        #: Counter totals at the previous record emission (per-round deltas).
+        self._net_baseline: Dict[str, float] = {}
+        self.transport.register(FEDERATOR_ID, self.handle_message)
+        self.transport.add_expiry_listener(self._on_transport_expiry)
         cluster.add_membership_listener(self._on_membership_change)
 
     # ---------------------------------------------------------------- lifecycle
@@ -366,7 +378,7 @@ class BaseFederator:
                 "profile_batches": self.config.profile_batches,
                 "report_profile": self.wants_profile_reports(),
             }
-            self.network.send(
+            self.transport.send(
                 FEDERATOR_ID,
                 client_id,
                 MessageKind.TRAIN_REQUEST,
@@ -471,6 +483,41 @@ class BaseFederator:
         # keeps the previous model in that case).
         self.finalize_round(state)
 
+    #: Message kinds whose delivery failure means the round lost a client's
+    #: contribution (graceful degradation drops the client, like a timeout).
+    _EXPIRY_DROP_KINDS = frozenset(
+        {MessageKind.TRAIN_REQUEST, MessageKind.TRAIN_RESULT}
+    )
+
+    def _on_transport_expiry(self, entry: dict) -> None:
+        """A reliable send exhausted its retransmissions.
+
+        An expired ``TRAIN_REQUEST`` (we could not reach the client) or
+        ``TRAIN_RESULT`` (the client could not reach us) drops that client
+        from the round in flight, so exhausted retries degrade the round
+        instead of hanging it.  Other expiries (profile reports, offload
+        plumbing) only re-evaluate completion: the round timers own those.
+        """
+        state = self._round_state
+        if state is None or state.finalized:
+            return
+        if entry["sender"] == FEDERATOR_ID:
+            client_id = entry["recipient"]
+        elif entry["recipient"] == FEDERATOR_ID:
+            client_id = entry["sender"]
+        else:
+            return  # client<->client offload traffic; round timers cover it
+        if entry["round_number"] != state.round_number:
+            return
+        if (
+            entry["kind"] in self._EXPIRY_DROP_KINDS
+            and client_id in state.selected_clients
+            and client_id not in state.results
+            and client_id not in state.dropped_clients
+        ):
+            self._drop_client(state, client_id)
+        self._maybe_finalize(state)
+
     def _drop_client(self, state: RoundState, client_id: int) -> None:
         """Remove a client from the round: it no longer counts towards
         completion and its (absent) update is excluded from aggregation."""
@@ -482,8 +529,38 @@ class BaseFederator:
             timeout.cancel()
         self.on_client_dropped(state, client_id)
 
+    def _quorum_satisfied(self, state: RoundState) -> bool:
+        """Whether the round may finalize early on a partial quorum.
+
+        With ``transport.quorum_fraction < 1``, a round finalizes once that
+        fraction of the selected clients has delivered *and* none of the
+        stragglers has recoverable traffic still in flight on the reliable
+        channel (an un-ACKed request or result may yet arrive; waiting for
+        it is free because retries are bounded).
+        """
+        quorum = self.config.transport.quorum_fraction
+        if quorum >= 1.0:
+            return False
+        needed = max(1, int(np.ceil(quorum * len(state.selected_clients))))
+        delivered = sum(
+            1 for cid in state.results if cid not in state.dropped_clients
+        )
+        if delivered < needed:
+            return False
+        return all(
+            self.transport.pending_involving(cid, state.round_number) == 0
+            for cid in state.pending_clients
+        )
+
     def _maybe_finalize(self, state: RoundState) -> None:
-        if not state.finalized and self.round_complete(state):
+        if state.finalized:
+            return
+        if self.round_complete(state):
+            self.finalize_round(state)
+            return
+        if self._quorum_satisfied(state):
+            for client_id in state.pending_clients:
+                self._drop_client(state, client_id)
             self.finalize_round(state)
 
     # -------------------------------------------------------------- finalisation
@@ -518,6 +595,7 @@ class BaseFederator:
             test_loss=test_loss,
             mean_train_loss=average_metric(losses, sizes),
         )
+        self._record_network(record)
         self.result.add_round(record)
         self.result.setup_time = self.setup_time
         self._rounds_completed += 1
@@ -528,6 +606,28 @@ class BaseFederator:
             self.checkpoint_hook()
         if not self.finished:
             self._start_round()
+
+    #: Traffic counters every run has; per-round extras only carry the
+    #: fault/transport counters beyond these.
+    _BASE_NET_KEYS = ("messages_sent", "bytes_sent", "messages_dropped", "messages_failed")
+
+    def _record_network(self, record: RoundRecord) -> None:
+        """Refresh the result's network totals; attach per-round deltas.
+
+        The whole-run totals are overwritten on every record so the result
+        always reflects traffic up to its last round.  Per-round
+        fault-counter deltas go into ``record.extra`` only when the
+        transport machinery is live, keeping null-transport round records
+        byte-identical to the historical ones.
+        """
+        totals = self.cluster.network_totals()
+        self.result.network = dict(totals)
+        if self._transport_active:
+            for key, value in totals.items():
+                if key in self._BASE_NET_KEYS:
+                    continue
+                record.extra[f"net_{key}"] = float(value) - self._net_baseline.get(key, 0.0)
+            self._net_baseline = dict(totals)
 
     # ------------------------------------------------------ checkpoint seams
     def capture_checkpoint_state(self) -> Optional[dict]:
@@ -549,6 +649,7 @@ class BaseFederator:
             "rounds_completed": self._rounds_completed,
             "round_pending": self._round_pending,
             "setup_time": self.setup_time,
+            "net_baseline": dict(self._net_baseline),
             "extra": extra,
         }
 
@@ -564,6 +665,7 @@ class BaseFederator:
         self._round_pending = bool(state["round_pending"])
         self.setup_time = state["setup_time"]
         self.result.setup_time = state["setup_time"]
+        self._net_baseline = dict(state["net_baseline"])
         self._restore_extra_state(state["extra"])
 
     def _capture_extra_state(self) -> Optional[dict]:

@@ -46,6 +46,10 @@ class ExperimentResult:
     config: Dict[str, object]
     rounds: List[RoundRecord] = field(default_factory=list)
     setup_time: float = 0.0
+    #: Whole-run network/transport counters (messages_sent, bytes_sent,
+    #: fault-injection and retransmission totals).  Filled by the federator
+    #: when the run ends; merged into :meth:`summary` so reports show them.
+    network: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Round listeners are runtime observers, not part of the result's
@@ -117,7 +121,7 @@ class ExperimentResult:
 
     def summary(self) -> Dict[str, float]:
         """Flat summary used by the report printers and benchmarks."""
-        return {
+        summary = {
             "algorithm": self.algorithm,
             "dataset": self.dataset,
             "rounds": float(self.num_rounds),
@@ -128,6 +132,9 @@ class ExperimentResult:
             "total_offloads": float(self.total_offloads()),
             "total_dropped": float(self.total_dropped()),
         }
+        for key in sorted(self.network):
+            summary[f"net_{key}"] = float(self.network[key])
+        return summary
 
 
 def round_duration_density(

@@ -25,9 +25,10 @@ from repro.fl.metrics import ExperimentResult
 from repro.nn.architectures import build_model
 from repro.nn.dtype import resolve_dtype, using_dtype
 from repro.registry import FEDERATORS
+from repro.fl.transport import build_transport
 from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.dynamics import ScenarioDynamics
-from repro.simulation.network import LinkSpec
+from repro.simulation.network import FaultProfile, LinkSpec
 from repro.simulation.virtual_pool import VIRTUAL_POOL_AUTO_THRESHOLD, VirtualClientPool
 from repro.simulation.resources import (
     ResourceProfile,
@@ -224,6 +225,26 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
         ),
         seed=config.seed,
     )
+
+    # Unreliable transport: install the fault injector and the reliable
+    # channel *before* any node registers a handler.  A null transport
+    # without loss bursts installs nothing, keeping the wire bitwise
+    # identical to the historical reliable network.
+    transport_cfg = config.transport
+    if transport_cfg.injects_faults() or config.dynamics.loss_burst_rate_per_s > 0:
+        cluster.network.fault_profile = FaultProfile(
+            drop_rate=transport_cfg.drop_rate,
+            duplicate_rate=transport_cfg.duplicate_rate,
+            reorder_rate=transport_cfg.reorder_rate,
+            reorder_max_delay_s=transport_cfg.reorder_max_delay_s,
+            corrupt_rate=transport_cfg.corrupt_rate,
+            kinds=tuple(transport_cfg.fault_kinds),
+            seed=config.seed,
+        )
+    if transport_cfg.reliable:
+        cluster.install_transport(
+            build_transport(cluster.network, cluster.env, transport_cfg, seed=config.seed)
+        )
 
     global_model = build_model(config.architecture, rng=np.random.default_rng(config.seed))
 

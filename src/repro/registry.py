@@ -408,6 +408,21 @@ _BUILTIN_SCENARIOS: Tuple[Tuple[str, str], ...] = (
         "aggressive churn plus slowdown bursts plus a flaky network — "
         "the worst case of all three axes",
     ),
+    (
+        "lossy",
+        "drop/duplicate/reorder/corrupt faults on every link, recovered by "
+        "the reliable-delivery middleware (ACK + retransmit)",
+    ),
+    (
+        "lossy-churn",
+        "lossy links and churning clients at once: retransmissions race "
+        "disconnects, expired sends degrade the round",
+    ),
+    (
+        "partition-storm",
+        "random client links collapse to 90% loss in bursts; rounds "
+        "finalize on a 3/4 quorum instead of waiting out the partition",
+    ),
 )
 
 for _name, _description in _BUILTIN_SCENARIOS:

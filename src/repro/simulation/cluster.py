@@ -63,6 +63,13 @@ class SimulatedCluster:
             raise ValueError("a cluster needs at least one client profile")
         self.env = SimulationEnvironment()
         self.network = Network(self.env, default_link=default_link)
+        # All application traffic routes through the transport; the default
+        # pass-through is bitwise identical to registering with the network
+        # directly.  The runtime swaps in a ReliableTransport (and installs
+        # a fault profile on the network) before any node registers.
+        from repro.fl.transport import DirectTransport
+
+        self.transport: Any = DirectTransport(self.network)
         self.cost_model = cost_model if cost_model is not None else ComputeCostModel()
         self._rng = np.random.default_rng(seed)
         self.nodes: Dict[Any, Node] = {}
@@ -212,6 +219,35 @@ class SimulatedCluster:
         self.network.set_link(client_id, FEDERATOR_ID, spec)
         self.network.set_link(FEDERATOR_ID, client_id, spec)
 
+    # ------------------------------------------------- transport / faults
+    def install_transport(self, transport: Any) -> None:
+        """Swap the message transport; must happen before nodes register."""
+        self.transport = transport
+
+    def set_link_loss(self, client_id: int, rate: float) -> None:
+        """Raise the drop rate of a client's federator links (loss burst)."""
+        profile = self.network.fault_profile
+        if profile is None:
+            raise ValueError("loss bursts require a fault profile on the network")
+        profile.set_link_drop(client_id, FEDERATOR_ID, rate)
+        profile.set_link_drop(FEDERATOR_ID, client_id, rate)
+
+    def clear_link_loss(self, client_id: int) -> None:
+        """Revert a client's federator links to the base drop rate."""
+        profile = self.network.fault_profile
+        if profile is None:
+            return
+        profile.clear_link_drop(client_id, FEDERATOR_ID)
+        profile.clear_link_drop(FEDERATOR_ID, client_id)
+
+    def network_totals(self) -> Dict[str, float]:
+        """Whole-run traffic, fault and transport counters (for summaries)."""
+        totals = dict(self.network.counters())
+        if self.network.fault_profile is not None:
+            totals.update(self.network.fault_profile.counters())
+        totals.update(self.transport.counters())
+        return totals
+
     # ------------------------------------------------------ checkpoint seams
     def capture_state(self) -> Dict[str, Any]:
         """Serializable snapshot of the cluster's mutable state.
@@ -222,14 +258,21 @@ class SimulatedCluster:
         traces).  Clock skews are construction-time constants but are
         captured anyway so a resumed run cannot drift from reconstruction.
         """
-        return {
+        state = {
             "offline": self.network.capture_offline(),
             "speeds": {
                 cid: self.profile(cid).speed_fraction for cid in self.client_ids
             },
             "links": self.network.capture_link_overrides(),
             "clocks": {cid: self.nodes[cid].clock.state() for cid in self.client_ids},
+            "net_counters": self.network.capture_counters(),
+            "faults": (
+                self.network.fault_profile.capture_state()
+                if self.network.fault_profile is not None
+                else None
+            ),
         }
+        return state
 
     def restore_state(self, state: Dict[str, Any]) -> None:
         """Restore a snapshot from :meth:`capture_state`.
@@ -244,6 +287,11 @@ class SimulatedCluster:
         self.network.restore_link_overrides(state["links"])
         for cid, clock_state in state["clocks"].items():
             self.nodes[cid].clock.set_state(clock_state)
+        self.network.restore_counters(state["net_counters"])
+        if state["faults"] is not None:
+            if self.network.fault_profile is None:
+                raise ValueError("checkpoint has fault state but no profile installed")
+            self.network.fault_profile.restore_state(state["faults"])
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the simulation until the event queue drains; returns the end time."""

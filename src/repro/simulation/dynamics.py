@@ -91,12 +91,17 @@ class ScenarioDynamics:
         self.online_events = 0
         self.slowdown_events = 0
         self.bandwidth_events = 0
+        self.loss_burst_events = 0
         #: Clients currently slowed down -> nesting depth of active bursts.
         self._active_slowdowns: Dict[int, int] = {}
         #: Latest bandwidth-trace token per client: when traces overlap on
         #: one client, only the most recent one may restore the link.
         self._link_trace_tokens: Dict[int, int] = {}
         self._link_trace_counter = 0
+        #: Latest loss-burst token per client (same supersede rule as
+        #: bandwidth traces: only the newest burst may clear the override).
+        self._loss_burst_tokens: Dict[int, int] = {}
+        self._loss_burst_counter = 0
 
     # ------------------------------------------------------------------ setup
     def install(self) -> None:
@@ -118,6 +123,11 @@ class ScenarioDynamics:
             self._schedule(
                 d.first_event_s + self._exp(1.0 / d.bandwidth_rate_per_s),
                 "bandwidth_event",
+            )
+        if d.loss_burst_rate_per_s > 0:
+            self._schedule(
+                d.first_event_s + self._exp(1.0 / d.loss_burst_rate_per_s),
+                "loss_burst",
             )
 
     def _exp(self, mean: float) -> float:
@@ -222,6 +232,27 @@ class ScenarioDynamics:
         self._link_trace_tokens.pop(client_id, None)
         self.cluster.set_link_factor(client_id, 1.0)
 
+    # ------------------------------------------------------------ loss bursts
+    def _loss_burst(self) -> None:
+        if self._stopped():
+            return
+        d = self.dynamics
+        clients: List[int] = self.cluster.client_ids
+        client_id = int(self._rng.choice(clients))
+        self.loss_burst_events += 1
+        self._loss_burst_counter += 1
+        token = self._loss_burst_counter
+        self._loss_burst_tokens[client_id] = token
+        self.cluster.set_link_loss(client_id, d.loss_burst_drop_rate)
+        self._schedule(self._exp(d.mean_loss_burst_s), "restore_loss", (client_id, token))
+        self._schedule(self._exp(1.0 / d.loss_burst_rate_per_s), "loss_burst")
+
+    def _restore_loss(self, client_id: int, token: int) -> None:
+        if self._loss_burst_tokens.get(client_id) != token:
+            return
+        self._loss_burst_tokens.pop(client_id, None)
+        self.cluster.clear_link_loss(client_id)
+
     #: Declarative event kinds: every scheduled dynamics event is one of
     #: these method names plus plain-data args, so the pending set is
     #: serializable for checkpoints.
@@ -232,6 +263,8 @@ class ScenarioDynamics:
         "restore_speed": _restore_speed,
         "bandwidth_event": _bandwidth_event,
         "restore_link": _restore_link,
+        "loss_burst": _loss_burst,
+        "restore_loss": _restore_loss,
     }
 
     # ------------------------------------------------------ checkpoint seams
@@ -252,9 +285,12 @@ class ScenarioDynamics:
             "online_events": self.online_events,
             "slowdown_events": self.slowdown_events,
             "bandwidth_events": self.bandwidth_events,
+            "loss_burst_events": self.loss_burst_events,
             "active_slowdowns": dict(self._active_slowdowns),
             "link_trace_tokens": dict(self._link_trace_tokens),
             "link_trace_counter": self._link_trace_counter,
+            "loss_burst_tokens": dict(self._loss_burst_tokens),
+            "loss_burst_counter": self._loss_burst_counter,
             "pending": pending,
         }
 
@@ -279,9 +315,12 @@ class ScenarioDynamics:
         self.online_events = int(state["online_events"])
         self.slowdown_events = int(state["slowdown_events"])
         self.bandwidth_events = int(state["bandwidth_events"])
+        self.loss_burst_events = int(state["loss_burst_events"])
         self._active_slowdowns = dict(state["active_slowdowns"])
         self._link_trace_tokens = dict(state["link_trace_tokens"])
         self._link_trace_counter = int(state["link_trace_counter"])
+        self._loss_burst_tokens = dict(state["loss_burst_tokens"])
+        self._loss_burst_counter = int(state["loss_burst_counter"])
 
     def schedule_restored(self, time: float, kind: str, args: list) -> Event:
         """Re-schedule one captured pending event at its absolute time."""

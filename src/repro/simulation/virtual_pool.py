@@ -273,8 +273,12 @@ class VirtualClientPool:
             # offload expectation from one voided by churn/eviction).
             return False
         # A message in flight to or from the client (a late result, an
-        # offloaded model) must reach its original actor.
-        return self.cluster.network.in_flight_count(client_id) == 0
+        # offloaded model) must reach its original actor, and an un-ACKed
+        # reliable send touching it may still retransmit into its handler.
+        return (
+            self.cluster.network.in_flight_count(client_id) == 0
+            and self.cluster.transport.pending_involving(client_id) == 0
+        )
 
     def _evict_lru(self) -> bool:
         for client_id in list(self._active):  # LRU order: oldest first
@@ -357,7 +361,7 @@ class VirtualClientPool:
         client = slot.client
         if client is not None:
             self.descriptors[client_id].saved_state = client.dehydrate()
-            self.cluster.network.unregister(client_id)
+            self.cluster.transport.unregister(client_id)
             self.cluster.detach_actor(client_id)
             slot.client = None
         self.evictions += 1

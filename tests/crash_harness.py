@@ -31,7 +31,7 @@ for entry in (str(SRC_ROOT), str(REPO_ROOT)):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
-from repro.fl.config import DynamicsConfig, ExperimentConfig, ResourceConfig
+from repro.fl.config import DynamicsConfig, ExperimentConfig, ResourceConfig, TransportConfig
 
 
 # ----------------------------------------------------------- config transport
@@ -44,6 +44,7 @@ def config_from_dict(payload: dict) -> ExperimentConfig:
     payload = dict(payload)
     payload["resources"] = ResourceConfig(**payload["resources"])
     payload["dynamics"] = DynamicsConfig(**payload["dynamics"])
+    payload["transport"] = TransportConfig(**payload["transport"])
     return ExperimentConfig(**payload)
 
 

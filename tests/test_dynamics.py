@@ -20,6 +20,7 @@ from repro.experiments.workloads import (
     evaluation_config,
     scenario_description,
     scenario_dynamics,
+    scenario_transport,
 )
 from repro.fl.config import DynamicsConfig, ExperimentConfig, ResourceConfig
 from repro.fl.runtime import build_experiment, run_experiment
@@ -167,7 +168,10 @@ class TestScenarioRegistry:
             "stable",
             "churn",
             "flaky-network",
+            "lossy",
+            "lossy-churn",
             "mega-churn",
+            "partition-storm",
             "straggler-burst",
         )
 
@@ -175,10 +179,14 @@ class TestScenarioRegistry:
         assert not scenario_dynamics("stable").is_active()
 
     def test_non_stable_scenarios_are_active(self):
+        # Every non-stable scenario must do *something*: time-varying
+        # dynamics, transport faults, or both (e.g. "lossy" is dynamics-
+        # inert but installs an aggressive fault profile).
         for name in available_scenarios():
             if name != "stable":
                 dynamics = scenario_dynamics(name)
-                assert dynamics.is_active(), name
+                transport = scenario_transport(name)
+                assert dynamics.is_active() or not transport.is_null(), name
                 assert dynamics.scenario == name
 
     def test_descriptions_exist(self):

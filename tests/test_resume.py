@@ -121,7 +121,7 @@ def test_virtual_pool_run_resumes_bitwise_identical(tmp_path):
 # ---------------------------------------------------------------------------
 # Crash injection: SIGKILL at a seeded-random round, resume, compare bytes
 # ---------------------------------------------------------------------------
-@pytest.mark.parametrize("scenario", ["stable", "churn"])
+@pytest.mark.parametrize("scenario", ["stable", "churn", "lossy"])
 @pytest.mark.parametrize("algorithm", CRASH_ALGORITHMS)
 def test_sigkill_crash_resumes_bitwise_identical(algorithm, scenario, tmp_path):
     config = make_config(algorithm, scenario=scenario)
