@@ -7,6 +7,8 @@ asserts the headline engine claims:
 
 * >= 1.5x on the per-batch train step (float32 fast path vs seed), and
 * >= 3x on 16-client FedAvg aggregation (flat vectors vs per-key loops),
+* >= 2x on a 32-client round step (lockstep batched cohort vs the
+  per-client loop, mnist-cnn float32),
 * identical PhaseTrace FLOP counts across engines and dtypes.
 
 Results are printed as a table and written to ``BENCH_engine.json``.  The
@@ -38,6 +40,11 @@ def test_engine_speedups(benchmark, print_figure):
     assert fedavg["speedup"] >= 3.0, (
         f"16-client FedAvg aggregation: expected >=3x vs seed engine, "
         f"got {fedavg['speedup']:.2f}x"
+    )
+    round_step = results["round_step"]["mnist-cnn"]
+    assert round_step["float32_speedup"] >= 2.0, (
+        f"32-client batched round step: expected >=2x vs the per-client loop, "
+        f"got {round_step['float32_speedup']:.2f}x"
     )
 
 

@@ -260,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
         "K completed rounds (requires --results-dir / $REPRO_RESULTS_DIR)",
     )
     run_p.add_argument(
+        "--batched",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="batched multi-client compute: run lockstep-compatible clients of a "
+        "round as one (clients, params) kernel set; results are bitwise identical "
+        "either way (default: the config's batched_execution, i.e. auto)",
+    )
+    run_p.add_argument(
         "--resume",
         action="store_true",
         help="continue an interrupted run of this exact configuration from its "
@@ -412,6 +420,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="where --engine writes its JSON results (default: BENCH_engine.json)",
     )
+    bench_p.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--engine timing repeats per benchmark (default: 20, or 5 at smoke scale)",
+    )
+    bench_p.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--engine discarded warmup runs per benchmark (default: 3, or 1 at smoke scale)",
+    )
     # No --cache-dir here: bench times actual execution, and serving the
     # parallel leg from a warm cache would turn the "speedup" into a
     # cache-load measurement.
@@ -510,6 +532,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = spec.rounds(args.rounds)
     if args.checkpoint_interval is not None:
         spec = spec.override(checkpoint_interval=args.checkpoint_interval)
+    if args.batched is not None:
+        spec = spec.override(batched_execution=args.batched)
     if (args.resume or args.checkpoint_interval is not None) and not (
         args.results_dir or os.environ.get("REPRO_RESULTS_DIR")
     ):
@@ -748,6 +772,10 @@ def _cmd_bench_engine(args: argparse.Namespace, scale: ScaleProfile) -> int:
         settings = {"architectures": ("mnist-cnn",), "batch_size": 16, "repeats": 5, "warmup": 1}
     else:
         settings = {"batch_size": scale.batch_size, "repeats": 20, "warmup": 3}
+    if args.repeats is not None:
+        settings["repeats"] = max(1, args.repeats)
+    if args.warmup is not None:
+        settings["warmup"] = max(0, args.warmup)
     print(f"benchmarking the compute engine ({scale.name} settings) ...", file=sys.stderr)
     results = run_engine_bench(output_path=args.output, **settings)
     print(render_engine_bench(results))

@@ -19,14 +19,16 @@ human-readable table.
 from __future__ import annotations
 
 import json
+import os
 import time
 from statistics import median
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.fl.aggregation import fedavg_aggregate_flat, fednova_aggregate_flat
 from repro.nn.architectures import build_model
+from repro.nn.batched import BatchedModel, BatchedSGD
 from repro.nn.dtype import using_dtype
 from repro.nn.optim import SGD
 from repro.nn.reference import (
@@ -38,6 +40,41 @@ from repro.nn.reference import (
 
 DEFAULT_ARCHITECTURES = ("mnist-cnn", "cifar10-cnn")
 AGGREGATION_CLIENTS = 16
+ROUND_STEP_CLIENTS = 32
+
+#: Thread-count environment variables that shape BLAS parallelism; their
+#: values (when set) are recorded so BENCH_engine.json numbers can be
+#: compared across machines and runs.
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def _blas_meta() -> Dict[str, object]:
+    """BLAS/threading provenance for the benchmark metadata (numpy-only:
+    the container has no threadpoolctl, so this reads numpy's build config
+    and the standard thread-count environment variables instead)."""
+    meta: Dict[str, object] = {
+        "numpy_version": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "thread_env": {var: os.environ[var] for var in _THREAD_ENV_VARS if var in os.environ},
+    }
+    config = getattr(np.__config__, "CONFIG", None)
+    if isinstance(config, dict):
+        deps = config.get("Build Dependencies", {})
+        for lib in ("blas", "lapack"):
+            info = deps.get(lib)
+            if isinstance(info, dict):
+                meta[lib] = {
+                    key: info[key]
+                    for key in ("name", "version", "openblas configuration")
+                    if key in info
+                }
+    return meta
 
 
 def _time_ms(fn: Callable[[], object], repeats: int, warmup: int) -> float:
@@ -49,6 +86,36 @@ def _time_ms(fn: Callable[[], object], repeats: int, warmup: int) -> float:
         fn()
         samples.append((time.perf_counter() - start) * 1000.0)
     return float(median(samples))
+
+
+def _time_paired_ms(
+    fn_a: Callable[[], object], fn_b: Callable[[], object], repeats: int, warmup: int
+) -> Tuple[float, float, float]:
+    """Interleaved A/B timing: ``(median_a_ms, median_b_ms, a_over_b)``.
+
+    Timing the two engines back to back in alternating pairs exposes both
+    to the same machine-load drift; the reported ratio is the median of the
+    per-pair ratios, which cancels any drift slower than one pair (a
+    sequential A-block/B-block layout instead attributes a mid-run phase
+    change entirely to one side).  The in-pair order flips every pair so
+    neither engine always runs with the other's working set freshly
+    evicted from cache.
+    """
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    a_ms: List[float] = []
+    b_ms: List[float] = []
+    for pair in range(repeats):
+        ordered = (fn_a, a_ms), (fn_b, b_ms)
+        if pair % 2:
+            ordered = ordered[::-1]
+        for fn, sink in ordered:
+            start = time.perf_counter()
+            fn()
+            sink.append((time.perf_counter() - start) * 1000.0)
+    ratios = [a / b for a, b in zip(a_ms, b_ms)]
+    return float(median(a_ms)), float(median(b_ms)), float(median(ratios))
 
 
 def _input_batch(arch: str, batch_size: int, dtype) -> tuple:
@@ -163,12 +230,60 @@ def bench_aggregation(
     return {"fedavg": fedavg, "fednova": fednova}
 
 
+def bench_round_step(
+    arch: str, num_clients: int, batch_size: int, repeats: int, warmup: int
+) -> Dict[str, float]:
+    """One round's coincident client batches: per-client loop vs one
+    lockstep :class:`~repro.nn.batched.BatchedModel` wave.
+
+    Every client starts from distinct weights and trains on distinct data
+    (as in a real round after the first local step); the batched lane
+    arenas are loaded from the same per-client states, so both sides do
+    identical arithmetic — the batched path just does it in ``O(layers)``
+    large kernels instead of ``O(clients * layers)`` small ones.
+    """
+    from repro.nn.architectures import ARCHITECTURES
+
+    spec = ARCHITECTURES[arch]
+    results: Dict[str, float] = {}
+    for dtype_name in ("float64", "float32"):
+        with using_dtype(dtype_name):
+            models = [build_model(arch, rng=np.random.default_rng(i)) for i in range(num_clients)]
+            batched = BatchedModel(models[0], num_clients)
+        dtype = models[0].dtype
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(num_clients, batch_size, *spec.input_shape)).astype(dtype)
+        y = rng.integers(0, spec.num_classes, size=(num_clients, batch_size))
+        optimizers = [SGD(lr=0.05, momentum=0.9) for _ in range(num_clients)]
+        batched_optimizer = BatchedSGD(lr=0.05, momentum=0.9, backend=batched.backend)
+        for lane, model in enumerate(models):
+            for section in model.SECTIONS:
+                batched.load_lane(section, lane, model.get_flat_weights(section))
+
+        def per_client_round() -> None:
+            for model, optimizer, xi, yi in zip(models, optimizers, x, y):
+                model.train_batch(xi, yi, optimizer)
+
+        per_ms, batched_ms, ratio = _time_paired_ms(
+            per_client_round,
+            lambda: batched.train_step(x, y, batched_optimizer),
+            repeats,
+            warmup,
+        )
+        results[f"{dtype_name}_per_client_ms"] = per_ms
+        results[f"{dtype_name}_batched_ms"] = batched_ms
+        results[f"{dtype_name}_speedup"] = ratio
+    results["speedup"] = results["float32_speedup"]
+    return results
+
+
 def run_engine_bench(
     architectures: Sequence[str] = DEFAULT_ARCHITECTURES,
     batch_size: int = 32,
     repeats: int = 20,
     warmup: int = 3,
     num_clients: int = AGGREGATION_CLIENTS,
+    round_clients: int = ROUND_STEP_CLIENTS,
     output_path: Optional[str] = "BENCH_engine.json",
 ) -> Dict[str, object]:
     """Run every engine microbenchmark; optionally write ``BENCH_engine.json``."""
@@ -178,12 +293,15 @@ def run_engine_bench(
             "repeats": repeats,
             "warmup": warmup,
             "aggregation_clients": num_clients,
+            "round_step_clients": round_clients,
             "unit": "ms (median)",
             "reference": "seed engine (repro.nn.reference): float64, per-key loops",
+            "blas": _blas_meta(),
         },
         "train_step": {},
         "eval_step": {},
         "aggregation": {},
+        "round_step": {},
     }
     for arch in architectures:
         results["train_step"][arch] = bench_train_step(arch, batch_size, repeats, warmup)
@@ -192,6 +310,11 @@ def run_engine_bench(
     # benchmark it on the first (paper-default) architecture.
     results["aggregation"][architectures[0]] = bench_aggregation(
         architectures[0], num_clients, max(repeats * 5, 50), warmup * 5
+    )
+    # Batched round step: the paper-default architecture at the evaluation
+    # round size, per-client loop vs one lockstep cohort.
+    results["round_step"][architectures[0]] = bench_round_step(
+        architectures[0], round_clients, batch_size, repeats, warmup
     )
     if output_path:
         with open(output_path, "w") as handle:
@@ -226,4 +349,19 @@ def render_engine_bench(results: Dict[str, object]) -> str:
                 f"{row['flat_float64_ms']:>10.3f} {row['flat_float32_ms']:>10.3f} "
                 f"{row['speedup']:>8.2f}x"
             )
+    round_step = results.get("round_step") or {}
+    if round_step:
+        clients = results["meta"].get("round_step_clients", ROUND_STEP_CLIENTS)  # type: ignore[union-attr]
+        lines.append(
+            f"  {'round step (' + str(clients) + ' clients)':<28} "
+            f"{'per-client':>10} {'batched':>10} {'speedup':>9}"
+        )
+        for arch, row in round_step.items():
+            for dtype_name in ("float64", "float32"):
+                lines.append(
+                    f"  {arch + ' ' + dtype_name:<28} "
+                    f"{row[f'{dtype_name}_per_client_ms']:>10.2f} "
+                    f"{row[f'{dtype_name}_batched_ms']:>10.2f} "
+                    f"{row[f'{dtype_name}_speedup']:>8.2f}x"
+                )
     return "\n".join(lines)

@@ -62,8 +62,9 @@ MATERIALIZATION_FIELDS = ("client_pool", "pool_slots")
 #: experiment itself.  ``checkpoint_interval`` joins the materialization
 #: knobs: checkpointed and straight-through runs are bitwise identical
 #: (pinned by tests/test_resume.py), so they must share cache and store
-#: entries.
-EXECUTION_FIELDS = MATERIALIZATION_FIELDS + ("checkpoint_interval",)
+#: entries.  ``batched_execution`` likewise: the batched engine reproduces
+#: the per-client path bitwise (pinned by tests/test_batched_engine.py).
+EXECUTION_FIELDS = MATERIALIZATION_FIELDS + ("checkpoint_interval", "batched_execution")
 
 
 # ---------------------------------------------------------------------------

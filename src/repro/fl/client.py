@@ -72,6 +72,14 @@ class FLClient:
         self.transport.register(client_id, self.handle_message)
         cluster.attach_actor(client_id, self)
 
+        #: Batched execution: the cluster-wide cohort executor (when the
+        #: config enables it) and this client's live lane handle.  While a
+        #: lane is held, batches are computed by the executor's lockstep
+        #: waves instead of ``model.train_batch``; timing, events and
+        #: losses are identical either way (see :mod:`repro.nn.batched`).
+        self._batched = getattr(cluster, "batched_executor", None)
+        self._lane = None
+
         # Round state (reset at every TRAIN_REQUEST).
         self._round: Optional[int] = None
         self._total_batches = 0
@@ -163,6 +171,7 @@ class FLClient:
         training request anyway).
         """
         self.times_disconnected += 1
+        self._abandon_lane()
         self._cancel_pending_work()
         self._round = None
         self._own_training_done = False
@@ -240,6 +249,9 @@ class FLClient:
         client owns (model buffers, optimizer scratch, data slices) is
         reconstructed — or recycled from the pool's arena — on rehydration.
         """
+        # A held lane implies a pending batch event, which is_quiescent
+        # rejects; this is a backstop against future lifecycle changes.
+        assert self._lane is None, "cannot dehydrate a client holding a batched lane"
         state = {name: getattr(self, name) for name in self.PERSISTENT_COUNTERS}
         state["loader"] = self.loader.state()
         return state
@@ -283,6 +295,12 @@ class FLClient:
             or self._pending_offload_event is not None
         ):
             return None
+        # A mid-flight straggler may still hold a batched lane: materialize
+        # it into the per-client buffers so the snapshot (weights, momentum,
+        # loader, pending loss) is exactly what an unbatched run would hold.
+        # The resumed run continues on the per-client path, which is bitwise
+        # identical.
+        self._leave_lane()
         state = self.dehydrate()
         mid_round = self._round is not None
         state.update(
@@ -368,7 +386,11 @@ class FLClient:
         # A new round supersedes whatever this client was doing: if it was
         # still training for an expired round (e.g. it was dropped by a
         # deadline or timeout), the stale batch completion must not fire
-        # into the new round's accounting.
+        # into the new round's accounting.  A stale batched lane only needs
+        # its loader draws replayed (the weights are overwritten below);
+        # this must happen before the pending event is cancelled because
+        # the draw count includes the in-flight batch.
+        self._abandon_lane()
         self._cancel_pending_work()
         self._round = message.round_number
         self._total_batches = int(payload["total_batches"])
@@ -407,6 +429,12 @@ class FLClient:
                 }
             )
 
+        if self._batched is not None:
+            # Claim the lane the executor planned for this round (None when
+            # ineligible, already claimed, or the cohort has started — the
+            # per-client path below handles every such case identically).
+            self._lane = self._batched.activate(self, self._round)
+
         self.rounds_participated += 1
         self._train_own_batch()
 
@@ -416,6 +444,9 @@ class FLClient:
         return max(self._total_batches - self._give_up_batches, self._batches_done)
 
     def _train_own_batch(self) -> None:
+        if self._lane is not None:
+            self._schedule_batched_batch()
+            return
         xb, yb = self.loader.next_batch()
         loss, trace = self.model.train_batch(xb, yb, self.optimizer)
         phase_durations = self.cost_model.phase_seconds(trace, self.resource, self.env.now)
@@ -454,6 +485,66 @@ class FLClient:
             self._train_own_batch()
         else:
             self._finish_own_training()
+
+    # ------------------------------------------------------ batched execution
+    def _schedule_batched_batch(self) -> None:
+        """Schedule a batch completion without computing the batch yet.
+
+        The duration comes from the lane's analytic phase trace, which is
+        bitwise identical to the trace ``model.train_batch`` would record,
+        so virtual timing (and the profiler's measurements) are unchanged.
+        The numeric work happens lazily in the cohort's lockstep wave when
+        the completion fires (or earlier, driven by a cohort peer).
+        """
+        trace = self._lane.trace()
+        phase_durations = self.cost_model.phase_seconds(trace, self.resource, self.env.now)
+        # A lane is only held while the features are unfrozen (freezing
+        # materializes the lane first), so this is always the full duration.
+        duration = self.cost_model.batch_seconds(trace, self.resource, self.env.now)
+        if self._profiler.active:
+            measured = {
+                phase: self.clock.measure(seconds) for phase, seconds in phase_durations.items()
+            }
+            duration += self._profiler.record_batch(measured)
+        self._pending_batch_loss = None
+        self._pending_batch_event = self.env.schedule(duration, self._on_batched_batch_done)
+
+    def _on_batched_batch_done(self) -> None:
+        """Completion handler for a batch scheduled on a batched lane."""
+        if self._lane is not None:
+            loss = self._lane.consume_loss()
+        else:
+            # The lane was materialized while this completion was in flight
+            # (e.g. checkpoint capture): the already-computed loss was
+            # parked exactly as the per-client path does.
+            loss = self._pending_batch_loss
+        self._on_own_batch_done(loss)
+
+    def _leave_lane(self) -> None:
+        """Materialize the lane's state back into the per-client buffers.
+
+        After this the client's model weights, optimizer state and loader
+        position are bitwise what an unbatched run would hold after the
+        same number of drawn batches (including a still-in-flight one).
+        """
+        lane = self._lane
+        if lane is None:
+            return
+        self._lane = None
+        pending = self._pending_batch_event is not None
+        drawn = self._batches_done + (1 if pending else 0)
+        last_loss = lane.materialize(self, drawn)
+        if pending:
+            self._pending_batch_loss = last_loss
+
+    def _abandon_lane(self) -> None:
+        """Leave the lane syncing only the loader (weights are obsolete)."""
+        lane = self._lane
+        if lane is None:
+            return
+        self._lane = None
+        drawn = self._batches_done + (1 if self._pending_batch_event is not None else 0)
+        lane.abandon(self, drawn)
 
     def _send_profile_report(self) -> None:
         profile = self._profiler.profile()
@@ -508,6 +599,9 @@ class FLClient:
         remaining = self._total_batches - self._batches_done
         if remaining <= 0 or remaining > self._offload_budget:
             return
+        # Freezing diverges this client from its lockstep cohort, so pull
+        # the lane's state back into the per-client model first.
+        self._leave_lane()
         # Freeze the feature layers and ship the model to the strong client
         # as one flat vector snapshot (no per-key dictionaries are built).
         package = FrozenModelPackage.from_model(
@@ -541,6 +635,7 @@ class FLClient:
     def _finish_own_training(self) -> None:
         if self._own_training_done:
             return
+        self._leave_lane()
         self._own_training_done = True
         result = TrainingResult(
             client_id=self.client_id,

@@ -354,6 +354,16 @@ class ExperimentConfig:
     #: are still finishing after being dropped from a round).
     pool_slots: Optional[int] = None
 
+    #: Batched multi-client compute: "on" installs a BatchedClientExecutor
+    #: that runs each synchronous round's lockstep-compatible clients as one
+    #: ``(clients, params)`` kernel set, "off" keeps the per-client oracle
+    #: path, "auto" enables batching for rounds of
+    #: BATCHED_AUTO_MIN_CLIENTS+ participants.  Batched numerics are
+    #: bitwise identical to the per-client path (pinned by tests), so —
+    #: like ``client_pool`` — the field is an execution knob excluded from
+    #: ``config_hash``/``run_key``.
+    batched_execution: str = "auto"
+
     # Checkpointing
     #: Write a resumable mid-run checkpoint into the run's store directory
     #: every this many completed (virtual) rounds; ``None`` disables
@@ -402,6 +412,11 @@ class ExperimentConfig:
             )
         if self.pool_slots is not None and self.pool_slots < 1:
             raise ValueError("pool_slots must be at least 1 when set")
+        if self.batched_execution not in {"auto", "on", "off"}:
+            raise ValueError(
+                f"unknown batched_execution mode {self.batched_execution!r}; "
+                "valid: auto, on, off"
+            )
         if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be at least 1 when set")
 

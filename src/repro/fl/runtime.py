@@ -193,6 +193,23 @@ def uses_virtual_pool(config: ExperimentConfig) -> bool:
     return config.num_clients > VIRTUAL_POOL_AUTO_THRESHOLD
 
 
+def uses_batched_execution(config: ExperimentConfig) -> bool:
+    """Whether this configuration installs the batched compute engine.
+
+    ``"auto"`` (the default) batches rounds with
+    :data:`~repro.nn.batched.BATCHED_AUTO_MIN_CLIENTS` or more
+    participants; smaller rounds stay on the per-client path, whose
+    numerics the batched engine reproduces bitwise anyway.
+    """
+    if config.batched_execution == "off":
+        return False
+    if config.batched_execution == "on":
+        return True
+    from repro.nn.batched import BATCHED_AUTO_MIN_CLIENTS
+
+    return config.effective_clients_per_round >= BATCHED_AUTO_MIN_CLIENTS
+
+
 def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHandle:
     rng = np.random.default_rng(config.seed)
 
@@ -246,12 +263,25 @@ def _build_experiment(config: ExperimentConfig, dtype: np.dtype) -> ExperimentHa
             build_transport(cluster.network, cluster.env, transport_cfg, seed=config.seed)
         )
 
+    if uses_batched_execution(config):
+        # Installed before any client registers so every FLClient discovers
+        # it at construction time; async federators never plan rounds
+        # through it, so it is inert (but harmless) for them.
+        from repro.nn.batched import BatchedClientExecutor
+
+        cluster.batched_executor = BatchedClientExecutor()
+
     global_model = build_model(config.architecture, rng=np.random.default_rng(config.seed))
 
     def client_model_factory():
         # Every client model starts from the same seeded initializer (as in
         # the eager path); TRAIN_REQUESTs overwrite the weights anyway.
-        return build_model(config.architecture, rng=np.random.default_rng(config.seed))
+        # Pin the experiment dtype explicitly: the virtual pool calls this
+        # lazily at hydration time, long after build_experiment's
+        # using_dtype context has exited, and the ambient default may
+        # differ from the config's dtype.
+        with using_dtype(dtype):
+            return build_model(config.architecture, rng=np.random.default_rng(config.seed))
 
     clients: List[FLClient] = []
     pool: Optional[VirtualClientPool] = None

@@ -1,0 +1,92 @@
+"""Array-backend seam for the batched compute engine.
+
+The batched client executor (:mod:`repro.nn.batched`) expresses every
+kernel through an :class:`ArrayBackend` instead of importing numpy
+directly, so a GPU backend (cupy, torch-with-adapter) can be dropped in
+later without touching the federation layer.  A backend provides:
+
+* ``xp`` — a numpy-API-compatible namespace (``matmul``, ``empty``,
+  ``zeros``, ``maximum``, ``exp``, ``copyto``, ``put_along_axis``, ...).
+  numpy itself and cupy satisfy this directly; a torch backend would wrap
+  the equivalent calls in a small adapter object.
+* ``sliding_window_view`` — the strided window view used by im2col
+  (lives under ``numpy.lib.stride_tricks``, hence not part of ``xp``).
+* ``asarray`` / ``to_host`` — transfers between host numpy arrays and
+  backend arrays (identity for the numpy backend).
+
+The numpy backend is the only one baked into the repository; it is also
+the *parity* backend: its kernels are bitwise identical to the
+per-client engine, which the test suite pins.  Accelerator backends are
+expected to be value-approximate, so runs using them should disable the
+bitwise golden guards.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+
+class ArrayBackend:
+    """Protocol-ish base class for array backends (numpy fulfils it as-is)."""
+
+    #: Short identifier used in benchmark metadata and error messages.
+    name: str = "abstract"
+
+    #: numpy-API-compatible module or adapter object.
+    xp = None
+
+    def sliding_window_view(self, x, window_shape, axis):
+        raise NotImplementedError
+
+    def asarray(self, host_array):
+        """Move/wrap a host numpy array into this backend's array type."""
+        raise NotImplementedError
+
+    def to_host(self, array) -> np.ndarray:
+        """Move a backend array back to a host numpy array."""
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """The default (and parity-oracle) backend: plain numpy on the host."""
+
+    name = "numpy"
+    xp = np
+
+    def sliding_window_view(self, x, window_shape, axis):
+        return np.lib.stride_tricks.sliding_window_view(x, window_shape, axis=axis)
+
+    def asarray(self, host_array):
+        return host_array
+
+    def to_host(self, array) -> np.ndarray:
+        return array
+
+
+#: Registry of constructable backends, keyed by :attr:`ArrayBackend.name`.
+_BACKENDS: Dict[str, Callable[[], ArrayBackend]] = {"numpy": NumpyBackend}
+
+
+def register_array_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a third-party backend factory under ``name``."""
+    _BACKENDS[name] = factory
+
+
+def available_array_backends() -> Tuple[str, ...]:
+    return tuple(sorted(_BACKENDS))
+
+
+def get_array_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve a backend by name (default: ``REPRO_ARRAY_BACKEND`` or numpy)."""
+    if name is None:
+        name = os.environ.get("REPRO_ARRAY_BACKEND", "numpy")
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {name!r}; available: {', '.join(available_array_backends())}"
+        ) from None
+    return factory()

@@ -1,0 +1,1582 @@
+"""Batched multi-client compute engine: lockstep ``(clients, params)`` kernels.
+
+A synchronous round at ``city``/``metro`` scale runs dozens of clients
+through the same architecture at the same time; the per-client engine
+executes them one at a time through many small numpy calls.  This module
+stacks the coincident clients' flat section vectors into one
+``(lanes, params)`` arena per section and runs forward / backward / loss /
+optimiser steps with a leading *lane* (client) dimension, so one round
+step costs a few large kernels instead of ``N`` small ones.
+
+Parity contract
+---------------
+Every batched kernel mirrors the exact floating-point operation order of
+its per-client counterpart in :mod:`repro.nn.layers`,
+:mod:`repro.nn.loss` and :mod:`repro.nn.optim`, relying only on
+transformations that are bitwise-exact per lane (stacked GEMMs over
+independent slices, elementwise ops, per-row reductions).  The
+per-client path therefore stays on as the *parity oracle*: a batched run
+must reproduce its summaries bit for bit, which the test suite pins.
+
+Timing is untouched: batch durations still come from analytic
+:class:`~repro.nn.model.PhaseTrace` FLOP counts (identical to what the
+per-client engine would record), so the discrete-event loop — stragglers,
+deadlines, churn, transport faults — behaves exactly as before.
+
+Cohorts and fallback
+--------------------
+:class:`BatchedClientExecutor` groups a round's selected clients into
+*lockstep cohorts*: same architecture, dtype, optimiser family and
+hyper-parameters, input shape, and uniform batch-size sequence.  Clients
+whose execution diverges from the cohort — mid-round freeze-and-offload,
+checkpoint capture, disconnects, give-up budgets — *materialize* their
+lane back into the per-client buffers (fast copy when the cohort is at
+their step, per-client replay otherwise) and continue on the oracle
+path.  Anything that cannot join a cohort (ragged epoch tails, unknown
+optimisers, late or duplicated training requests) silently falls back to
+the per-client path, which is always correct.
+
+All kernels go through the :class:`~repro.nn.backend.ArrayBackend` seam
+(numpy today; a cupy/torch backend can be registered without touching
+the federation layer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.loader import BatchLoader
+from repro.nn.backend import ArrayBackend, get_array_backend
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, ResidualBlock
+from repro.nn.model import Phase, PhaseTrace, SplitCNN
+from repro.nn.optim import ProximalSGD, SGD
+
+#: ``batched_execution="auto"`` batches rounds with at least this many
+#: selected clients; smaller rounds stay on the per-client path where the
+#: dispatch overhead being amortised is negligible anyway.
+BATCHED_AUTO_MIN_CLIENTS = 16
+
+
+def _scratch(current: Optional[np.ndarray], shape: Tuple[int, ...], dtype, xp) -> np.ndarray:
+    """Return ``current`` if it matches ``shape``/``dtype``, else a new buffer."""
+    if current is not None and current.shape == shape and current.dtype == dtype:
+        return current
+    return xp.empty(shape, dtype=dtype)
+
+
+# ---------------------------------------------------------------------------
+# Analytic per-phase FLOP counts
+# ---------------------------------------------------------------------------
+def _conv_flops(layer: Conv2D, n: int, in_shape: Tuple[int, ...]) -> Tuple[int, int, Tuple[int, ...]]:
+    out_shape = layer.output_shape(in_shape)
+    _, out_h, out_w = out_shape
+    k = layer.kernel_size
+    macs = n * out_h * out_w * layer.out_channels * layer.in_channels * k * k
+    return 2 * macs, 4 * macs, out_shape
+
+
+def _layer_flops(layer, n: int, in_shape: Tuple[int, ...]) -> Tuple[int, int, Tuple[int, ...]]:
+    """``(forward_flops, backward_flops, out_shape)`` for one batch of ``n``.
+
+    Mirrors the ``last_forward_flops``/``last_backward_flops`` accounting of
+    each layer in :mod:`repro.nn.layers` exactly (pinned by tests), so a
+    batched client can hand the cost model the same :class:`PhaseTrace` the
+    per-client engine would have recorded — without running the layer.
+    """
+    size_in = n * int(np.prod(in_shape))
+    if isinstance(layer, Conv2D):
+        return _conv_flops(layer, n, in_shape)
+    if isinstance(layer, MaxPool2D):
+        return size_in, size_in, layer.output_shape(in_shape)
+    if isinstance(layer, ReLU):
+        return size_in, size_in, in_shape
+    if isinstance(layer, Flatten):
+        return 0, 0, layer.output_shape(in_shape)
+    if isinstance(layer, Dense):
+        macs = n * layer.in_features * layer.out_features
+        return 2 * macs, 4 * macs, (layer.out_features,)
+    if isinstance(layer, ResidualBlock):
+        c1_fwd, c1_bwd, s1 = _conv_flops(layer.conv1, n, in_shape)
+        relu1 = n * int(np.prod(s1))
+        c2_fwd, c2_bwd, s2 = _conv_flops(layer.conv2, n, s1)
+        proj_fwd = proj_bwd = 0
+        if layer.proj is not None:
+            proj_fwd, proj_bwd, _ = _conv_flops(layer.proj, n, in_shape)
+        out_size = n * int(np.prod(s2))
+        # forward: conv1 + relu1 + conv2 + proj + relu_out + (h + shortcut)
+        fwd = c1_fwd + relu1 + c2_fwd + proj_fwd + out_size + out_size
+        # backward: relu_out + conv2 + relu1 + conv1 + proj + grad_out.size
+        bwd = c1_bwd + relu1 + c2_bwd + proj_bwd + out_size + out_size
+        return fwd, bwd, s2
+    raise TypeError(f"no analytic FLOP model for layer {type(layer).__name__}")
+
+
+def phase_flops(model: SplitCNN, batch_size: int, input_shape: Sequence[int]) -> PhaseTrace:
+    """Analytic :class:`PhaseTrace` of one unfrozen training batch.
+
+    Bitwise identical to the trace ``SplitCNN.train_batch`` records (FLOP
+    counts are shape-derived integers, never data-dependent).  Needed
+    because a batched client reports its batch duration *before* the
+    cohort's first wave has computed anything.
+    """
+    trace = PhaseTrace()
+    shape = tuple(int(dim) for dim in input_shape)
+    for layer in model.feature_layers:
+        fwd, bwd, shape = _layer_flops(layer, batch_size, shape)
+        trace.add(Phase.FORWARD_FEATURES, fwd)
+        trace.add(Phase.BACKWARD_FEATURES, bwd)
+    for layer in model.classifier_layers:
+        fwd, bwd, shape = _layer_flops(layer, batch_size, shape)
+        trace.add(Phase.FORWARD_CLASSIFIER, fwd)
+        trace.add(Phase.BACKWARD_CLASSIFIER, bwd)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Batched layer kernels (exact op-order mirrors of repro.nn.layers)
+# ---------------------------------------------------------------------------
+class _BatchedLayer:
+    """Base for lane-stacked layer mirrors.
+
+    ``params``/``grads`` are views into the owning model's
+    ``(lanes, params)`` section arenas, shaped ``(lanes,) + param_shape``.
+    """
+
+    def __init__(self, backend: ArrayBackend) -> None:
+        self.backend = backend
+        self.xp = backend.xp
+
+    def forward(self, x):
+        raise NotImplementedError
+
+    def backward(self, grad_out, need_input_grad: bool = True):
+        raise NotImplementedError
+
+
+_GEMM_PROBE_CACHE: Dict[Tuple[int, int, int, str], Tuple[bool, str, bool]] = {}
+
+
+def _probe_fast_gemms(rows: int, ckk: int, oc: int, dtype) -> Tuple[bool, str, bool]:
+    """Check the channel-major GEMM orientations bitwise at one shape.
+
+    BLAS picks its blocking from shapes and operand layouts, never from
+    values, so a random probe at the exact ``(rows, ckk, oc, dtype)``
+    decides equality for every input at that shape.  Compares the per-lane
+    channel-major 2-D GEMMs (exactly as issued by :class:`_BatchedConv2D`'s
+    fast path, transposed-view operands included) against the per-client
+    oracle's 2-D GEMMs; a failing orientation routes that GEMM through the
+    oracle's exact operand layout instead.
+
+    Returns ``(fwd_ok, gw_mode, dc_ok)``.  ``gw_mode`` picks between two
+    fast weight-gradient orientations: ``"csT"`` computes the transposed
+    gradient ``colsT @ gradT.T`` (a wide-N GEMM, typically ~2x the speed of
+    the reduction-heavy direct form on OpenBLAS) and ``"gT"`` the direct
+    ``gradT @ colsT.T``; ``"slow"`` falls back to the oracle layout.
+    """
+    key = (rows, ckk, oc, np.dtype(dtype).name)
+    cached = _GEMM_PROBE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(0xC0FFEE)
+    colsT = np.ascontiguousarray(rng.standard_normal((ckk, rows)).astype(dtype))
+    w_mat = np.ascontiguousarray(rng.standard_normal((oc, ckk)).astype(dtype))
+    gradT = np.ascontiguousarray(rng.standard_normal((oc, rows)).astype(dtype))
+    cols = np.ascontiguousarray(colsT.T)  # oracle layout (rows, ckk)
+    grad = np.ascontiguousarray(gradT.T)  # oracle layout (rows, oc)
+    fwd_ok = np.array_equal(np.matmul(w_mat, colsT), (cols @ w_mat.T).T)
+    gw_oracle = grad.T @ cols
+    if np.array_equal(np.matmul(colsT, gradT.T).T, gw_oracle):
+        gw_mode = "csT"
+    elif np.array_equal(np.matmul(gradT, colsT.T), gw_oracle):
+        gw_mode = "gT"
+    else:
+        gw_mode = "slow"
+    dc_ok = np.array_equal(np.matmul(w_mat.T, gradT), (grad @ w_mat).T)
+    result = (fwd_ok, gw_mode, dc_ok)
+    _GEMM_PROBE_CACHE[key] = result
+    return result
+
+
+_GB_PROBE_CACHE: Dict[Tuple[int, int, str], bool] = {}
+
+
+def _probe_gb_reduce(rows: int, oc: int, dtype) -> bool:
+    """Check ``einsum('ro->o')`` against ``sum(axis=0)`` bitwise at one shape.
+
+    The bias gradient must reduce a contiguous ``(rows, oc)`` buffer along
+    its first axis in the oracle's pairwise order.  ``np.einsum`` walks the
+    same order several times faster than ``ndarray.sum`` for the thin
+    trailing axes conv layers produce, but that equality is an
+    implementation detail — so it is probed per shape, like the GEMMs.
+    """
+    key = (rows, oc, np.dtype(dtype).name)
+    cached = _GB_PROBE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(0xB1A5)
+    buf = np.ascontiguousarray(rng.standard_normal((rows, oc)).astype(dtype))
+    result = bool(np.array_equal(np.einsum("ro->o", buf), buf.sum(axis=0)))
+    _GB_PROBE_CACHE[key] = result
+    return result
+
+
+class _BatchedConv2D(_BatchedLayer):
+    """Lane-stacked Conv2D over channel-major ``(L, C, N, H, W)`` activations.
+
+    The per-client oracle keeps activations sample-major and pays a strided
+    gather or transpose in im2col, after the forward GEMM, and in every
+    col2im pass.  The batched mirror leads with the channel axis instead, so
+    the im2col copy writes contiguous ``(n*oh*ow)`` rows, the forward GEMM
+    emits channel-major output directly (no transpose pass), and col2im
+    reads contiguous slabs.  Layout is free to differ from the oracle;
+    values are not: operand values, GEMM dot order (``(c, k, k)`` along K)
+    and the per-element ascending ``(i, j)`` col2im addition order all
+    match the scalar path bitwise.  The transposed GEMM orientations are
+    only shape-wise equal to the oracle's, so each is verified by
+    :func:`_probe_fast_gemms` at the exact working shape; a failing probe
+    routes that GEMM through the oracle's operand layout (at the cost of a
+    transposed copy), keeping every shape bitwise regardless.
+
+    GEMMs and col2im run lane-at-a-time over 2-D operands rather than one
+    stacked 3-D call: each lane's im2col block and grad-cols buffer is
+    consumed while still cache-hot, and the 2-D calls go straight to BLAS
+    without the gufunc batch loop.  Per-lane results are bitwise the same
+    as the stacked form (the batch loop issues the identical 2-D GEMMs).
+    """
+
+    def __init__(self, template: Conv2D, params, grads, backend: ArrayBackend) -> None:
+        super().__init__(backend)
+        self.in_channels = template.in_channels
+        self.out_channels = template.out_channels
+        self.kernel_size = template.kernel_size
+        self.stride = template.stride
+        self.padding = template.padding
+        self.W = params["W"]  # (L, oc, ic, k, k)
+        self.b = params["b"]  # (L, oc)
+        self.gW = grads["W"]
+        self.gb = grads["b"]
+        self.lanes = int(self.W.shape[0])
+        self._colsT: Optional[np.ndarray] = None
+        self._pad: Optional[np.ndarray] = None
+        self._interior: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
+        self._out_sm: Optional[np.ndarray] = None
+        self._cols_sm: Optional[np.ndarray] = None
+        self._gbuf: Optional[np.ndarray] = None
+        self._gw: Optional[np.ndarray] = None
+        self._grad_colsT: Optional[np.ndarray] = None
+        self._grad_cols_sm: Optional[np.ndarray] = None
+        self._cols_sm_lane: Optional[np.ndarray] = None
+        self._gcols_lane: Optional[np.ndarray] = None
+        self._gcols_sm_lane: Optional[np.ndarray] = None
+        self._gwT_lane: Optional[np.ndarray] = None
+        self._gb_row: Optional[np.ndarray] = None
+        self._acc: Optional[np.ndarray] = None
+        self._gx: Optional[np.ndarray] = None
+        self._cache_colsT: Optional[np.ndarray] = None
+        self._cache_cols_sm: Optional[np.ndarray] = None
+        self._cache_x_shape: Optional[Tuple[int, ...]] = None
+
+    def stage_input(self, shape: Tuple[int, ...], dtype) -> Optional[np.ndarray]:
+        """Interior view of the pad scratch for a ``shape``-shaped input.
+
+        The producing layer writes its output straight into this view, so
+        ``_padded`` can skip the separate interior copy (the values are
+        identical either way — only the copy is fused out).  Returns
+        ``None`` when this conv has no pad buffer to stage into.
+        """
+        p = self.padding
+        if p == 0:
+            return None
+        L, c, n, h, w = shape
+        padded_shape = (L, c, n, h + 2 * p, w + 2 * p)
+        if (
+            self._pad is None
+            or self._pad.shape != padded_shape
+            or self._pad.dtype != dtype
+        ):
+            self._pad = self.xp.zeros(padded_shape, dtype=dtype)
+            self._interior = None
+        if self._interior is None:
+            self._interior = self._pad[:, :, :, p:-p, p:-p]
+        return self._interior
+
+    def _padded(self, x):
+        p = self.padding
+        if p == 0:
+            return x
+        if x is self._interior:
+            # The producer staged its output directly into the interior;
+            # the border is already zero, nothing to copy.
+            return self._pad
+        L, c, n, h, w = x.shape
+        shape = (L, c, n, h + 2 * p, w + 2 * p)
+        if self._pad is None or self._pad.shape != shape or self._pad.dtype != x.dtype:
+            # Zeroed once; only the interior is rewritten per wave, the
+            # border stays zero (same trick as the oracle's pad buffer).
+            self._pad = self.xp.zeros(shape, dtype=x.dtype)
+            self._interior = None
+        self._pad[:, :, :, p:-p, p:-p] = x
+        return self._pad
+
+    def _im2colT(self, x):
+        """Transposed im2col: ``(L, c*k*k, n*oh*ow)`` with contiguous rows."""
+        xp = self.xp
+        L, c, n, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        rows = n * out_h * out_w
+        colsT = self._colsT = _scratch(self._colsT, (L, c * k * k, rows), x.dtype, xp)
+        padded = self._padded(x)
+        colsT7 = colsT.reshape(L, c, k, k, n, out_h, out_w)
+        if xp is np:
+            # One overlapping window view + one copy: the nditer walks the
+            # destination in C order, so each (lane, channel) image block is
+            # read cache-hot across all k*k taps.
+            sL, sc, sn, sH, sW = padded.strides
+            windows = np.lib.stride_tricks.as_strided(
+                padded,
+                shape=(L, c, k, k, n, out_h, out_w),
+                strides=(sL, sc, sH, sW, sn, s * sH, s * sW),
+            )
+            np.copyto(colsT7, windows)
+        else:
+            for i in range(k):
+                i_max = i + s * out_h
+                for j in range(k):
+                    j_max = j + s * out_w
+                    xp.copyto(colsT7[:, :, i, j], padded[:, :, :, i:i_max:s, j:j_max:s])
+        return colsT
+
+    def _cols_oracle(self, colsT):
+        """Sample-major ``(L, rows, ckk)`` cols in the oracle's layout.
+
+        Materialized only when a probe rejects a fast orientation; cached
+        for the wave so forward and backward share one transpose.
+        """
+        if self._cache_cols_sm is not None:
+            return self._cache_cols_sm
+        L, ckk, rows = colsT.shape
+        cols = self._cols_sm = _scratch(self._cols_sm, (L, rows, ckk), colsT.dtype, self.xp)
+        self.xp.copyto(cols, colsT.transpose(0, 2, 1))
+        self._cache_cols_sm = cols
+        return cols
+
+    def _lane_cols_sm(self, colsT, lane):
+        """One lane's cols in the oracle's sample-major ``(rows, ckk)`` layout."""
+        if self._cache_cols_sm is not None:
+            return self._cache_cols_sm[lane]
+        _, ckk, rows = colsT.shape
+        buf = self._cols_sm_lane = _scratch(
+            self._cols_sm_lane, (rows, ckk), colsT.dtype, self.xp
+        )
+        self.xp.copyto(buf, colsT[lane].T)
+        return buf
+
+    def forward(self, x):
+        xp = self.xp
+        L, c, n, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        rows = n * out_h * out_w
+        ckk = c * k * k
+        oc = self.out_channels
+        fast_fwd, _, _ = _probe_fast_gemms(rows, ckk, oc, x.dtype)
+        w_mat = self.W.reshape(L, oc, ckk)
+        self._out = _scratch(self._out, (L, oc, rows), x.dtype, xp)
+        out = self._out
+        self._cache_cols_sm = None
+        if xp is np and fast_fwd:
+            # Lane-interleaved: copy one lane's windows, then GEMM that lane
+            # while its im2col block is still cache-hot.
+            colsT = self._colsT = _scratch(self._colsT, (L, ckk, rows), x.dtype, xp)
+            padded = self._padded(x)
+            colsT7 = colsT.reshape(L, c, k, k, n, out_h, out_w)
+            sL, sc, sn, sH, sW = padded.strides
+            windows = np.lib.stride_tricks.as_strided(
+                padded,
+                shape=(L, c, k, k, n, out_h, out_w),
+                strides=(sL, sc, sH, sW, sn, s * sH, s * sW),
+            )
+            for lane in range(L):
+                np.copyto(colsT7[lane], windows[lane])
+                np.matmul(w_mat[lane], colsT[lane], out=out[lane])
+                out[lane] += self.b[lane, :, None]
+        else:
+            colsT = self._im2colT(x)
+            if fast_fwd:
+                xp.matmul(w_mat, colsT, out=out)
+            else:
+                cols = self._cols_oracle(colsT)
+                self._out_sm = _scratch(self._out_sm, (L, rows, oc), x.dtype, xp)
+                out_sm = xp.matmul(cols, w_mat.transpose(0, 2, 1), out=self._out_sm)
+                xp.copyto(out, out_sm.transpose(0, 2, 1))
+            out += self.b[:, :, None]
+        self._cache_colsT = colsT
+        self._cache_x_shape = x.shape
+        return out.reshape(L, oc, n, out_h, out_w)
+
+    def backward(self, grad_out, need_input_grad: bool = True):
+        if self._cache_colsT is None or self._cache_x_shape is None:
+            raise RuntimeError("_BatchedConv2D.backward called before forward")
+        xp = self.xp
+        L, oc, n, out_h, out_w = grad_out.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        rows = n * out_h * out_w
+        grad3 = grad_out.reshape(L, oc, rows)
+        colsT = self._cache_colsT
+        ckk = colsT.shape[1]
+        _, gw_mode, fast_dc = _probe_fast_gemms(rows, ckk, oc, grad3.dtype)
+
+        grad_w = self._gw = _scratch(self._gw, (L, oc, ckk), grad3.dtype, xp)
+        w_mat = self.W.reshape(L, oc, ckk)
+        result_dtype = np.result_type(grad3.dtype, w_mat.dtype)
+        _, c, _, h, w = self._cache_x_shape
+
+        if xp is np:
+            # Lane-at-a-time: each lane's staging, grad-cols and col2im
+            # accumulator live in small reused buffers that are consumed
+            # before the next lane evicts them, instead of materializing the
+            # full (L, ...) blocks.  The oracle reduces a row-major
+            # (rows, oc) buffer along its first axis for gb; the per-lane
+            # staging keeps that layout (and a per-lane 2-D reduce is
+            # bitwise the stacked 3-D one), so the reduction order matches.
+            gbuf_l = self._gbuf = _scratch(self._gbuf, (rows, oc), grad3.dtype, xp)
+            gb_fast = _probe_gb_reduce(rows, oc, grad3.dtype)
+            gb_row = self._gb_row = _scratch(self._gb_row, (oc,), grad3.dtype, xp)
+            gc = gc7 = acc_l = gx = None
+            if need_input_grad:
+                gc = self._gcols_lane = _scratch(
+                    self._gcols_lane, (ckk, rows), result_dtype, xp
+                )
+                gc7 = gc.reshape(c, k, k, n, out_h, out_w)
+                acc_l = self._acc = _scratch(
+                    self._acc, (c, n, h + 2 * p, w + 2 * p), result_dtype, xp
+                )
+                gx = self._gx = _scratch(self._gx, (L, c, n, h, w), result_dtype, xp)
+            gwT = None
+            if gw_mode == "csT":
+                gwT = self._gwT_lane = _scratch(
+                    self._gwT_lane, (ckk, oc), grad3.dtype, xp
+                )
+            for lane in range(L):
+                np.copyto(gbuf_l, grad3[lane].T)
+                if gw_mode == "csT":
+                    np.matmul(colsT[lane], grad3[lane].T, out=gwT)
+                    np.copyto(grad_w[lane], gwT.T)
+                elif gw_mode == "gT":
+                    np.matmul(grad3[lane], colsT[lane].T, out=grad_w[lane])
+                else:
+                    np.matmul(
+                        gbuf_l.T, self._lane_cols_sm(colsT, lane), out=grad_w[lane]
+                    )
+                if gb_fast:
+                    np.einsum("ro->o", gbuf_l, out=gb_row)
+                    self.gb[lane] += gb_row
+                else:
+                    self.gb[lane] += gbuf_l.sum(axis=0)
+                if not need_input_grad:
+                    continue
+                if fast_dc:
+                    np.matmul(w_mat[lane].T, grad3[lane], out=gc)
+                else:
+                    gsm = self._gcols_sm_lane = _scratch(
+                        self._gcols_sm_lane, (rows, ckk), result_dtype, xp
+                    )
+                    np.matmul(gbuf_l, w_mat[lane], out=gsm)
+                    np.copyto(gc, gsm.T)
+                acc_l.fill(0)
+                for i in range(k):
+                    i_max = i + s * out_h
+                    for j in range(k):
+                        j_max = j + s * out_w
+                        acc_l[:, :, i:i_max:s, j:j_max:s] += gc7[:, i, j]
+                if p > 0:
+                    np.copyto(gx[lane], acc_l[:, :, p:-p, p:-p])
+                else:
+                    np.copyto(gx[lane], acc_l)
+            self.gW += grad_w.reshape(self.gW.shape)
+            return gx if need_input_grad else None
+
+        # Generic-backend path: stacked 3-D kernels, full-size scratch.
+        gbuf = self._gbuf = _scratch(self._gbuf, (L, rows, oc), grad3.dtype, xp)
+        xp.copyto(gbuf, grad3.transpose(0, 2, 1))
+        acc = None
+        if need_input_grad:
+            acc_shape = (L, c, n, h + 2 * p, w + 2 * p)
+            acc = self._acc = _scratch(self._acc, acc_shape, result_dtype, xp)
+            acc.fill(0)
+        if gw_mode == "csT":
+            gwT = xp.matmul(colsT, grad3.transpose(0, 2, 1))
+            xp.copyto(grad_w, gwT.transpose(0, 2, 1))
+        elif gw_mode == "gT":
+            xp.matmul(grad3, colsT.transpose(0, 2, 1), out=grad_w)
+        else:
+            xp.matmul(gbuf.transpose(0, 2, 1), self._cols_oracle(colsT), out=grad_w)
+        if need_input_grad:
+            self._grad_colsT = _scratch(
+                self._grad_colsT, (L, ckk, rows), result_dtype, xp
+            )
+            if fast_dc:
+                grad_colsT = xp.matmul(
+                    w_mat.transpose(0, 2, 1), grad3, out=self._grad_colsT
+                )
+            else:
+                self._grad_cols_sm = _scratch(
+                    self._grad_cols_sm, (L, rows, ckk), result_dtype, xp
+                )
+                grad_cols_sm = xp.matmul(gbuf, w_mat, out=self._grad_cols_sm)
+                grad_colsT = self._grad_colsT
+                xp.copyto(grad_colsT, grad_cols_sm.transpose(0, 2, 1))
+            gcT7 = grad_colsT.reshape(L, c, k, k, n, out_h, out_w)
+            for i in range(k):
+                i_max = i + s * out_h
+                for j in range(k):
+                    j_max = j + s * out_w
+                    acc[:, :, :, i:i_max:s, j:j_max:s] += gcT7[:, :, i, j]
+
+        self.gW += grad_w.reshape(self.gW.shape)
+        self.gb += gbuf.sum(axis=1)
+        if not need_input_grad:
+            return None
+        self._gx = _scratch(self._gx, (L, c, n, h, w), result_dtype, xp)
+        if p > 0:
+            xp.copyto(self._gx, acc[:, :, :, p:-p, p:-p])
+        else:
+            xp.copyto(self._gx, acc)
+        return self._gx
+
+
+class _BatchedMaxPool2D(_BatchedLayer):
+    """Lane-stacked MaxPool2D over channel-major ``(L, C, N, H, W)`` input.
+
+    Window maxima are computed by reducing the innermost (contiguous)
+    window axis first.  ``np.maximum`` keeps its first operand on ties, so
+    any bracketing of the window fold selects the leftmost maximal element
+    (and the leftmost NaN) — bitwise identical to the oracle's sequential
+    column sweep.  Only the argmax tie-break is order-pinned, and the
+    reverse equality sweep below replicates it exactly.
+    """
+
+    def __init__(self, template: MaxPool2D, backend: ArrayBackend) -> None:
+        super().__init__(backend)
+        self.pool_size = template.pool_size
+        if self.pool_size * self.pool_size > 127:
+            raise ValueError("MaxPool2D pool_size too large for int8 window slots")
+        # When the next layer is a padded conv, its pad-scratch interior is
+        # used as this pool's output buffer, fusing out the conv's pad copy.
+        self.sink: Optional[_BatchedConv2D] = None
+        self._xc: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
+        self._idx: Optional[np.ndarray] = None
+        self._eq: Optional[np.ndarray] = None
+        self._m0: Optional[np.ndarray] = None
+        self._m1: Optional[np.ndarray] = None
+        self._b0: Optional[np.ndarray] = None
+        self._b1: Optional[np.ndarray] = None
+        self._brow: Optional[np.ndarray] = None
+        self._t8: Optional[np.ndarray] = None
+        self._flat: Optional[np.ndarray] = None
+        self._grad: Optional[np.ndarray] = None
+        self._slot_table: Optional[np.ndarray] = None
+        self._base_shape: Optional[Tuple[int, ...]] = None
+        self._base_offsets: Optional[np.ndarray] = None
+        self._cache_idx: Optional[np.ndarray] = None
+        self._cache_shape: Optional[Tuple[int, ...]] = None
+
+    def _window_base_offsets(self, images: int, h: int, w: int) -> np.ndarray:
+        """Flat offset of each window's top-left element, window-major.
+
+        ``images`` is the per-lane image count (``c * n`` for channel-major
+        input) over a C-order ``(images, h, w)`` block.
+        """
+        if self._base_shape == (images, h, w) and self._base_offsets is not None:
+            return self._base_offsets
+        xp = self.xp
+        p = self.pool_size
+        # int32 indices halve the scatter traffic; a lane never exceeds
+        # 2**31 elements in practice, but fall back to intp if it would.
+        idx_dtype = np.int32 if images * h * w < 2**31 else np.intp
+        rows = xp.arange(0, h, p, dtype=idx_dtype) * idx_dtype(w)
+        cols = xp.arange(0, w, p, dtype=idx_dtype)
+        plane = (rows[:, None] + cols[None, :]).ravel()
+        image_base = xp.arange(images, dtype=idx_dtype) * idx_dtype(h * w)
+        self._base_offsets = (image_base[:, None] + plane[None, :]).ravel()
+        self._base_shape = (images, h, w)
+        # In-window slot t = (i, j) sits i rows and j columns past the
+        # window's top-left corner.
+        self._slot_table = xp.array(
+            [i * w + j for i in range(p) for j in range(p)], dtype=idx_dtype
+        )
+        return self._base_offsets
+
+    def forward(self, x):
+        xp = self.xp
+        L, c, n, h, w = x.shape
+        p = self.pool_size
+        if h % p or w % p:
+            raise ValueError(f"MaxPool2D input spatial dims {h}x{w} not divisible by {p}")
+        if not x.flags["C_CONTIGUOUS"]:
+            xc = self._xc = _scratch(self._xc, x.shape, x.dtype, xp)
+            xp.copyto(xc, x)
+            x = xc
+        reshaped = x.reshape(L, c, n, h // p, p, w // p, p)
+        out = None
+        if self.sink is not None:
+            out = self.sink.stage_input((L, c, n, h // p, w // p), x.dtype)
+        if out is None:
+            out = self._out = _scratch(self._out, (L, c, n, h // p, w // p), x.dtype, xp)
+        columns = [reshaped[:, :, :, :, i, :, j] for i in range(p) for j in range(p)]
+        idx = self._idx = _scratch(self._idx, out.shape, np.int8, xp)
+        eq = self._eq = _scratch(self._eq, out.shape, bool, xp)
+        if xp is np and p == 2:
+            # 2x2 tournament: six cheap passes instead of the generic
+            # seven double-strided ones.  Per window [c0 c1; c2 c3]
+            # (row-major slots 0..3): M_r = max of row r, winner-in-row
+            # b_r = (left == M_r), out = max(M0, M1), row pick =
+            # (M0 == out).  ``maximum`` keeps its first operand on ties,
+            # so the equalities resolve non-NaN ties to the leftmost /
+            # topmost slot — out is bitwise the sequential fold and idx
+            # the first-max slot.  NaN windows: ``maximum`` propagates
+            # the NaN into out, every equality is False, and the oracle
+            # sweep leaves slot p*p-1 there — restored by the fixup.
+            c0, c1, c2, c3 = columns
+            m0 = self._m0 = _scratch(self._m0, out.shape, x.dtype, xp)
+            m1 = self._m1 = _scratch(self._m1, out.shape, x.dtype, xp)
+            b0 = self._b0 = _scratch(self._b0, out.shape, bool, xp)
+            b1 = self._b1 = _scratch(self._b1, out.shape, bool, xp)
+            brow = self._brow = _scratch(self._brow, out.shape, bool, xp)
+            t8 = self._t8 = _scratch(self._t8, out.shape, np.int8, xp)
+            np.maximum(c0, c1, out=m0)
+            np.equal(c0, m0, out=b0)
+            np.maximum(c2, c3, out=m1)
+            np.equal(c2, m1, out=b1)
+            np.maximum(m0, m1, out=out)
+            np.equal(m0, out, out=brow)
+            # slot = 1 - b0 in the top row, 3 - b1 in the bottom row
+            np.subtract(np.int8(3), b1.view(np.int8), out=idx)
+            np.subtract(np.int8(1), b0.view(np.int8), out=t8)
+            np.copyto(idx, t8, where=brow)
+            np.isnan(out, out=eq)
+            if eq.any():
+                np.copyto(idx, np.int8(3), where=eq)
+        else:
+            if p == 1:
+                xp.copyto(out, columns[0])
+            else:
+                xp.maximum(columns[0], columns[1], out=out)
+                for col in columns[2:]:
+                    xp.maximum(out, col, out=out)
+            idx.fill(len(columns) - 1)
+            for t in range(len(columns) - 2, -1, -1):
+                xp.equal(columns[t], out, out=eq)
+                xp.copyto(idx, np.int8(t), where=eq)
+        self._cache_idx = idx
+        self._cache_shape = x.shape
+        return out
+
+    def backward(self, grad_out, need_input_grad: bool = True):
+        if self._cache_idx is None or self._cache_shape is None:
+            raise RuntimeError("_BatchedMaxPool2D.backward called before forward")
+        xp = self.xp
+        L, c, n, h, w = self._cache_shape
+        idx = self._cache_idx
+        base = self._window_base_offsets(c * n, h, w)
+        flat = self._flat = _scratch(self._flat, (L, idx[0].size), base.dtype, xp)
+        xp.take(self._slot_table, idx.reshape(L, -1), out=flat)
+        xp.add(flat, base[None, :], out=flat)
+        grad = self._grad = _scratch(self._grad, (L, c * n * h * w), grad_out.dtype, xp)
+        grad.fill(0)
+        xp.put_along_axis(grad, flat, grad_out.reshape(L, -1), axis=1)
+        return grad.reshape(L, c, n, h, w)
+
+
+class _BatchedReLU(_BatchedLayer):
+    """Elementwise ReLU; layout- and order-free, so bitwise-safe in place.
+
+    ``inplace=True`` rewrites the incoming activation / gradient scratch
+    buffers instead of allocating its own.  Only the top-level chains opt
+    in: there every input is the previous layer's scratch, which is never
+    re-read after the handoff.  Inside :class:`_BatchedResidualBlock` the
+    default out-of-place form is kept (the skip path aliases buffers).
+    """
+
+    def __init__(self, backend: ArrayBackend, inplace: bool = False) -> None:
+        super().__init__(backend)
+        self.inplace = inplace
+        self._out: Optional[np.ndarray] = None
+        self._mask: Optional[np.ndarray] = None
+        self._gx: Optional[np.ndarray] = None
+
+    def forward(self, x):
+        xp = self.xp
+        if self._mask is None or self._mask.shape != x.shape:
+            self._mask = xp.empty(x.shape, dtype=bool)
+        xp.greater(x, 0.0, out=self._mask)
+        if self.inplace:
+            return xp.maximum(x, 0.0, out=x)
+        self._out = _scratch(self._out, x.shape, x.dtype, xp)
+        return xp.maximum(x, 0.0, out=self._out)
+
+    def backward(self, grad_out, need_input_grad: bool = True):
+        if self._mask is None:
+            raise RuntimeError("_BatchedReLU.backward called before forward")
+        if self.inplace:
+            return self.xp.multiply(grad_out, self._mask, out=grad_out)
+        self._gx = _scratch(self._gx, grad_out.shape, grad_out.dtype, self.xp)
+        return self.xp.multiply(grad_out, self._mask, out=self._gx)
+
+
+class _BatchedFlatten(_BatchedLayer):
+    """Flatten; converts channel-major feature maps back to sample-major.
+
+    The classifier operates on ``(L, n, features)`` with the oracle's
+    ``(c, h, w)`` per-sample feature order, so 5-D channel-major input
+    pays one small transposed copy here (and one on the way back).
+    """
+
+    def __init__(self, backend: ArrayBackend) -> None:
+        super().__init__(backend)
+        self._out: Optional[np.ndarray] = None
+        self._gx: Optional[np.ndarray] = None
+        self._cache_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x):
+        self._cache_shape = x.shape
+        if x.ndim == 5:
+            L, c, n, h, w = x.shape
+            out = self._out = _scratch(self._out, (L, n, c, h, w), x.dtype, self.xp)
+            self.xp.copyto(out, x.transpose(0, 2, 1, 3, 4))
+            return out.reshape(L, n, c * h * w)
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, grad_out, need_input_grad: bool = True):
+        if self._cache_shape is None:
+            raise RuntimeError("_BatchedFlatten.backward called before forward")
+        shape = self._cache_shape
+        if len(shape) == 5:
+            L, c, n, h, w = shape
+            gx = self._gx = _scratch(self._gx, shape, grad_out.dtype, self.xp)
+            self.xp.copyto(gx, grad_out.reshape(L, n, c, h, w).transpose(0, 2, 1, 3, 4))
+            return gx
+        return grad_out.reshape(shape)
+
+
+class _BatchedDense(_BatchedLayer):
+    def __init__(self, template: Dense, params, grads, backend: ArrayBackend) -> None:
+        super().__init__(backend)
+        self.in_features = template.in_features
+        self.out_features = template.out_features
+        self.W = params["W"]  # (L, in, out)
+        self.b = params["b"]  # (L, out)
+        self.gW = grads["W"]
+        self.gb = grads["b"]
+        self._out: Optional[np.ndarray] = None
+        self._gw: Optional[np.ndarray] = None
+        self._gx: Optional[np.ndarray] = None
+        self._cache_x = None
+
+    def forward(self, x):
+        xp = self.xp
+        self._cache_x = x
+        L, n = x.shape[0], x.shape[1]
+        self._out = _scratch(self._out, (L, n, self.out_features), x.dtype, xp)
+        out = xp.matmul(x, self.W, out=self._out)
+        out += self.b[:, None, :]
+        return out
+
+    def backward(self, grad_out, need_input_grad: bool = True):
+        if self._cache_x is None:
+            raise RuntimeError("_BatchedDense.backward called before forward")
+        xp = self.xp
+        x = self._cache_x
+        self._gw = _scratch(self._gw, self.gW.shape, self.gW.dtype, xp)
+        self.gW += xp.matmul(x.transpose(0, 2, 1), grad_out, out=self._gw)
+        self.gb += grad_out.sum(axis=1)
+        if not need_input_grad:
+            return None
+        L, n = grad_out.shape[0], grad_out.shape[1]
+        self._gx = _scratch(self._gx, (L, n, self.in_features), grad_out.dtype, xp)
+        return xp.matmul(grad_out, self.W.transpose(0, 2, 1), out=self._gx)
+
+
+class _BatchedResidualBlock(_BatchedLayer):
+    def __init__(self, template: ResidualBlock, params, grads, backend: ArrayBackend) -> None:
+        super().__init__(backend)
+
+        def sub(prefix: str):
+            return (
+                {"W": params[f"{prefix}.W"], "b": params[f"{prefix}.b"]},
+                {"W": grads[f"{prefix}.W"], "b": grads[f"{prefix}.b"]},
+            )
+
+        p1, g1 = sub("conv1")
+        self.conv1 = _BatchedConv2D(template.conv1, p1, g1, backend)
+        self.relu1 = _BatchedReLU(backend)
+        p2, g2 = sub("conv2")
+        self.conv2 = _BatchedConv2D(template.conv2, p2, g2, backend)
+        self.relu_out = _BatchedReLU(backend)
+        self.proj: Optional[_BatchedConv2D] = None
+        if template.proj is not None:
+            pp, gp = sub("proj")
+            self.proj = _BatchedConv2D(template.proj, pp, gp, backend)
+        self._sum: Optional[np.ndarray] = None
+
+    def forward(self, x):
+        xp = self.xp
+        h = self.conv1.forward(x)
+        h = self.relu1.forward(h)
+        h = self.conv2.forward(h)
+        shortcut = x if self.proj is None else self.proj.forward(x)
+        self._sum = _scratch(self._sum, h.shape, np.result_type(h.dtype, shortcut.dtype), xp)
+        xp.add(h, shortcut, out=self._sum)
+        return self.relu_out.forward(self._sum)
+
+    def backward(self, grad_out, need_input_grad: bool = True):
+        grad_sum = self.relu_out.backward(grad_out)
+        grad_h = self.conv2.backward(grad_sum)
+        grad_h = self.relu1.backward(grad_h)
+        grad_x = self.conv1.backward(grad_h, need_input_grad=need_input_grad)
+        if self.proj is not None:
+            proj_grad = self.proj.backward(grad_sum, need_input_grad=need_input_grad)
+            if not need_input_grad:
+                return None
+            self.xp.add(grad_x, proj_grad, out=grad_x)
+        else:
+            if not need_input_grad:
+                return None
+            self.xp.add(grad_x, grad_sum, out=grad_x)
+        return grad_x
+
+
+class _BatchedCrossEntropyLoss:
+    """Lane-stacked softmax cross-entropy (row ops mirror repro.nn.loss)."""
+
+    def __init__(self, backend: ArrayBackend) -> None:
+        self.xp = backend.xp
+        self._lane_ix: Optional[np.ndarray] = None
+        self._row_ix: Optional[np.ndarray] = None
+
+    def forward_backward(self, logits, labels):
+        xp = self.xp
+        lanes, n = logits.shape[0], logits.shape[1]
+        if self._lane_ix is None or self._lane_ix.shape[0] != lanes:
+            self._lane_ix = xp.arange(lanes)[:, None]
+        if self._row_ix is None or self._row_ix.shape[1] != n:
+            self._row_ix = xp.arange(n)[None, :]
+        shifted = logits - logits.max(axis=2, keepdims=True)
+        exp = xp.exp(shifted)
+        probs = exp / exp.sum(axis=2, keepdims=True)
+        picked = probs[self._lane_ix, self._row_ix, labels]
+        losses = -xp.mean(xp.log(xp.clip(picked, 1e-12, None)), axis=1, dtype=np.float64)
+        grad = probs.copy()
+        grad[self._lane_ix, self._row_ix, labels] -= 1.0
+        grad /= n
+        return losses, grad
+
+
+# ---------------------------------------------------------------------------
+# Batched optimisers (exact op-order mirrors of repro.nn.optim)
+# ---------------------------------------------------------------------------
+class BatchedSGD:
+    """SGD over ``(lanes, params)`` arenas, one fused update per section.
+
+    Every operation is the elementwise mirror of
+    :meth:`repro.nn.optim.SGD._apply_update`, so lane ``i`` of the arena
+    evolves bitwise identically to a solo client stepping its section
+    vector.  :meth:`lane_state` exports one lane in the exact format
+    :meth:`repro.nn.optim.SGD.restore_state` consumes.
+    """
+
+    def __init__(
+        self,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        backend: Optional[ArrayBackend] = None,
+    ) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.backend = backend if backend is not None else get_array_backend()
+        self.xp = self.backend.xp
+        self._velocity: Dict[str, np.ndarray] = {}
+        self._scratch: Dict[str, np.ndarray] = {}
+
+    def _scratch_for(self, key: str, template) -> np.ndarray:
+        scratch = self._scratch.get(key)
+        if scratch is None or scratch.shape != template.shape or scratch.dtype != template.dtype:
+            scratch = self.xp.empty_like(template)
+            self._scratch[key] = scratch
+        return scratch
+
+    def _apply_update(self, key: str, param, grad) -> None:
+        xp = self.xp
+        scratch = self._scratch_for(key, param)
+        if self.weight_decay:
+            xp.multiply(param, self.weight_decay, out=scratch)
+            scratch += grad
+            grad = scratch
+        if self.momentum:
+            velocity = self._velocity.get(key)
+            if velocity is None or velocity.shape != param.shape:
+                velocity = xp.zeros_like(param)
+                self._velocity[key] = velocity
+            velocity *= self.momentum
+            velocity += grad
+            update = velocity
+        else:
+            update = grad
+        if update is scratch:
+            scratch *= self.lr
+        else:
+            xp.multiply(update, self.lr, out=scratch)
+        param -= scratch
+
+    def step(self, sections: Dict[str, Tuple[np.ndarray, np.ndarray]]) -> None:
+        for key, (param, grad) in sections.items():
+            self._apply_update(key, param, grad)
+
+    def reset_state(self) -> None:
+        self._velocity.clear()
+        self._scratch.clear()
+
+    def lane_state(self, lane: int) -> dict:
+        """One lane's state, shaped for ``Optimizer.restore_state``."""
+        to_host = self.backend.to_host
+        return {
+            "velocity": {
+                key: np.array(to_host(value[lane]), copy=True)
+                for key, value in self._velocity.items()
+            }
+        }
+
+
+class BatchedProximalSGD(BatchedSGD):
+    """FedProx proximal SGD over lane arenas (anchor broadcast per section)."""
+
+    def __init__(
+        self,
+        lr: float,
+        mu: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        backend: Optional[ArrayBackend] = None,
+    ) -> None:
+        super().__init__(lr=lr, momentum=momentum, weight_decay=weight_decay, backend=backend)
+        self.mu = mu
+        self._anchor: Optional[Dict[str, np.ndarray]] = None
+        self._prox_scratch: Dict[str, np.ndarray] = {}
+
+    def set_anchor(self, weights: Dict[str, np.ndarray]) -> None:
+        self._anchor = {
+            key: self.backend.asarray(np.array(value, copy=True)) for key, value in weights.items()
+        }
+
+    def _apply_update(self, key: str, param, grad) -> None:
+        xp = self.xp
+        anchor = self._anchor.get(key) if self._anchor is not None else None
+        if self.mu and anchor is not None:
+            scratch = self._prox_scratch.get(key)
+            if scratch is None or scratch.shape != param.shape or scratch.dtype != param.dtype:
+                scratch = xp.empty_like(param)
+                self._prox_scratch[key] = scratch
+            # (L, P) minus broadcast (P,): per-lane identical to the solo
+            # np.subtract(param, anchor).
+            xp.subtract(param, anchor, out=scratch)
+            scratch *= self.mu
+            scratch += grad
+            grad = scratch
+        super()._apply_update(key, param, grad)
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._anchor = None
+        self._prox_scratch.clear()
+
+    def lane_state(self, lane: int) -> dict:
+        state = super().lane_state(lane)
+        state["anchor"] = (
+            {
+                key: np.array(self.backend.to_host(value), copy=True)
+                for key, value in self._anchor.items()
+            }
+            if self._anchor is not None
+            else None
+        )
+        return state
+
+
+# ---------------------------------------------------------------------------
+# Batched model
+# ---------------------------------------------------------------------------
+class BatchedModel:
+    """``lanes`` independent copies of a :class:`SplitCNN` in section arenas.
+
+    Parameters live in one ``(lanes, section_size)`` array per section;
+    every layer parameter is a ``(lanes,) + shape`` view into it, mirroring
+    the flat-vector storage of the per-client model.  ``train_step`` is the
+    lane-stacked mirror of ``SplitCNN.train_batch``.
+    """
+
+    def __init__(self, template: SplitCNN, lanes: int, backend: Optional[ArrayBackend] = None) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be positive, got {lanes}")
+        self.backend = backend if backend is not None else get_array_backend()
+        self.xp = self.backend.xp
+        self.lanes = lanes
+        self.name = template.name
+        self.dtype = template.dtype
+        self.features_frozen = False
+        self.classifier_frozen = False
+        self.loss = _BatchedCrossEntropyLoss(self.backend)
+        self._weights: Dict[str, np.ndarray] = {}
+        self._grads: Dict[str, np.ndarray] = {}
+        self.section_sizes: Dict[str, int] = {}
+        for section in SplitCNN.SECTIONS:
+            size = int(template.flat_parameters(section).size)
+            self.section_sizes[section] = size
+            self._weights[section] = self.xp.empty((lanes, size), dtype=self.dtype)
+            self._grads[section] = self.xp.zeros((lanes, size), dtype=self.dtype)
+        self.feature_layers = self._build_layers(template, SplitCNN.FEATURE_PREFIX)
+        self.classifier_layers = self._build_layers(template, SplitCNN.CLASSIFIER_PREFIX)
+        for prev, nxt in zip(self.feature_layers, self.feature_layers[1:]):
+            if isinstance(prev, _BatchedMaxPool2D) and isinstance(nxt, _BatchedConv2D):
+                prev.sink = nxt
+        self._x_cm: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------- construction
+    def _lane_view(self, arena, slot):
+        view = arena[:, slot.offset : slot.offset + slot.size].reshape((self.lanes,) + slot.shape)
+        if self.xp is np:
+            assert np.shares_memory(view, arena)
+        return view
+
+    def _build_layers(self, template: SplitCNN, section: str) -> List[_BatchedLayer]:
+        source = (
+            template.feature_layers
+            if section == SplitCNN.FEATURE_PREFIX
+            else template.classifier_layers
+        )
+        slots = iter(template.flat_slots(section))
+        layers: List[_BatchedLayer] = []
+        for position, layer in enumerate(source):
+            pviews: Dict[str, np.ndarray] = {}
+            gviews: Dict[str, np.ndarray] = {}
+            for param_name in layer.params:
+                slot = next(slots)
+                pviews[param_name] = self._lane_view(self._weights[section], slot)
+                gviews[param_name] = self._lane_view(self._grads[section], slot)
+            layers.append(self._batch_layer(layer, pviews, gviews, position > 0))
+        return layers
+
+    def _batch_layer(self, layer, pviews, gviews, owns_input: bool = False) -> _BatchedLayer:
+        if isinstance(layer, Conv2D):
+            return _BatchedConv2D(layer, pviews, gviews, self.backend)
+        if isinstance(layer, MaxPool2D):
+            return _BatchedMaxPool2D(layer, self.backend)
+        if isinstance(layer, ReLU):
+            # A non-leading ReLU always receives another batched layer's
+            # scratch buffer, so it may rewrite it in place.
+            return _BatchedReLU(self.backend, inplace=owns_input)
+        if isinstance(layer, Flatten):
+            return _BatchedFlatten(self.backend)
+        if isinstance(layer, Dense):
+            return _BatchedDense(layer, pviews, gviews, self.backend)
+        if isinstance(layer, ResidualBlock):
+            return _BatchedResidualBlock(layer, pviews, gviews, self.backend)
+        raise TypeError(f"no batched kernel for layer {type(layer).__name__}")
+
+    # ------------------------------------------------------------- weights IO
+    def load_all_lanes(self, section_vectors: Dict[str, np.ndarray]) -> None:
+        """Broadcast one flat vector per section into every lane."""
+        for section, vector in section_vectors.items():
+            self._weights[section][...] = self.backend.asarray(vector)[None, :]
+
+    def load_lane(self, section: str, lane: int, vector: np.ndarray) -> None:
+        self._weights[section][lane, :] = self.backend.asarray(vector)
+
+    def lane_flat(self, section: str, lane: int) -> np.ndarray:
+        """Copy of one lane's flat section vector (host array)."""
+        return np.array(self.backend.to_host(self._weights[section][lane]), copy=True)
+
+    # --------------------------------------------------------------- training
+    def zero_grad(self) -> None:
+        for grads in self._grads.values():
+            grads.fill(0)
+
+    def freeze_features(self) -> None:
+        self.features_frozen = True
+
+    def unfreeze_features(self) -> None:
+        self.features_frozen = False
+
+    def freeze_classifier(self) -> None:
+        self.classifier_frozen = True
+
+    def unfreeze_classifier(self) -> None:
+        self.classifier_frozen = False
+
+    def _trainable_arenas(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        sections: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        if not self.features_frozen:
+            key = SplitCNN.FEATURE_PREFIX
+            sections[key] = (self._weights[key], self._grads[key])
+        if not self.classifier_frozen:
+            key = SplitCNN.CLASSIFIER_PREFIX
+            sections[key] = (self._weights[key], self._grads[key])
+        return sections
+
+    def train_step(self, x, y, optimizer: Optional[BatchedSGD] = None) -> np.ndarray:
+        """One lockstep training step; ``x`` is ``(lanes, n, ...)``.
+
+        Returns the per-lane float64 loss vector.  Inputs must already be
+        in the model dtype (cohort eligibility guarantees it), matching the
+        no-op ``_cast_input`` of the per-client hot path.
+        """
+        if x.shape[0] != self.lanes or y.shape[0] != self.lanes:
+            raise ValueError(
+                f"expected leading lane dimension {self.lanes}, got x {x.shape} / y {y.shape}"
+            )
+        if x.shape[1] != y.shape[1]:
+            raise ValueError(
+                f"batch size mismatch: x has {x.shape[1]} rows, y has {y.shape[1]}"
+            )
+        if x.dtype != self.dtype:
+            raise TypeError(f"batched inputs must be pre-cast to {self.dtype}, got {x.dtype}")
+        self.zero_grad()
+        h = x
+        if h.ndim == 5:
+            # Feature kernels run channel-major (L, C, N, H, W): one cheap
+            # transposed copy here keeps every downstream pass streaming.
+            # When the first layer is a padded conv the copy lands straight
+            # in its pad-scratch interior, fusing out the pad pass.
+            L, n, c, ih, iw = h.shape
+            first = self.feature_layers[0]
+            cm = None
+            if isinstance(first, _BatchedConv2D):
+                cm = first.stage_input((L, c, n, ih, iw), h.dtype)
+            if cm is None:
+                cm = self._x_cm = _scratch(self._x_cm, (L, c, n, ih, iw), h.dtype, self.xp)
+            self.xp.copyto(cm, h.transpose(0, 2, 1, 3, 4))
+            h = cm
+        for layer in self.feature_layers:
+            h = layer.forward(h)
+        logits = h
+        for layer in self.classifier_layers:
+            logits = layer.forward(logits)
+        losses, grad = self.loss.forward_backward(logits, y)
+        for layer in reversed(self.classifier_layers):
+            grad = layer.backward(grad)
+        if not self.features_frozen:
+            first = self.feature_layers[0]
+            for layer in reversed(self.feature_layers):
+                if layer is first:
+                    # The input-layer dX is never consumed: skip its
+                    # grad-cols GEMM and col2im (values unaffected; the
+                    # analytic FLOP trace still charges the oracle's cost).
+                    layer.backward(grad, need_input_grad=False)
+                else:
+                    grad = layer.backward(grad)
+        if optimizer is not None:
+            optimizer.step(self._trainable_arenas())
+        return self.backend.to_host(losses)
+
+
+# ---------------------------------------------------------------------------
+# Cohorts, lanes and the executor
+# ---------------------------------------------------------------------------
+class _LaneState:
+    """Bookkeeping for one client's lane inside a cohort."""
+
+    __slots__ = (
+        "client_id",
+        "total_batches",
+        "activated",
+        "detached",
+        "index",
+        "client",
+        "shadow",
+        "start_loader_state",
+        "losses",
+        "consumed",
+    )
+
+    def __init__(self, client_id: int, total_batches: int) -> None:
+        self.client_id = client_id
+        self.total_batches = int(total_batches)
+        self.activated = False
+        self.detached = False
+        self.index = -1
+        self.client = None
+        self.shadow: Optional[BatchLoader] = None
+        self.start_loader_state: Optional[dict] = None
+        self.losses: List[float] = []
+        self.consumed = 0
+
+
+class BatchedLane:
+    """A client's handle onto its cohort lane.
+
+    The owning :class:`repro.fl.client.FLClient` drives it instead of
+    calling ``model.train_batch``: :meth:`trace` supplies the (analytic,
+    oracle-identical) batch cost, :meth:`consume_loss` returns the next
+    batch's loss (advancing the cohort on demand), and
+    :meth:`materialize` / :meth:`abandon` leave the lane when the client's
+    execution diverges from the lockstep.
+    """
+
+    def __init__(self, cohort: "_Cohort", state: _LaneState) -> None:
+        self._cohort = cohort
+        self._state = state
+
+    def trace(self) -> PhaseTrace:
+        return self._cohort.trace
+
+    def consume_loss(self) -> float:
+        state = self._state
+        state.consumed += 1
+        while self._cohort.steps_done < state.consumed:
+            self._cohort.advance()
+        return state.losses[state.consumed - 1]
+
+    def materialize(self, client, drawn: int) -> Optional[float]:
+        """Copy the lane's state after ``drawn`` batches back into ``client``.
+
+        Fast path when the cohort sits at (or can advance to) exactly
+        ``drawn`` waves; otherwise — the cohort already ran ahead for a
+        faster lane — the client's batches are replayed through the
+        per-client oracle from the round-start globals, which is what the
+        lockstep mirrored in the first place.
+        """
+        cohort = self._cohort
+        state = self._state
+        executor = cohort.executor
+        try:
+            while cohort.steps_done < drawn:
+                cohort.advance()
+            if cohort.started and cohort.steps_done == drawn:
+                for section in client.model.SECTIONS:
+                    client.model.set_flat_weights(
+                        cohort.model.lane_flat(section, state.index), section=section
+                    )
+                client.optimizer.restore_state(cohort.optimizer.lane_state(state.index))
+                client.loader.set_state(state.shadow.state())
+                executor.stats["fast_materializations"] += 1
+                return state.losses[drawn - 1] if drawn > 0 else None
+            executor.stats["replays"] += 1
+            return self._replay(client, drawn)
+        finally:
+            cohort.detach(state)
+
+    def _replay(self, client, drawn: int) -> Optional[float]:
+        client.loader.set_state(self._state.start_loader_state)
+        model = client.model
+        for section in model.SECTIONS:
+            model.set_flat_weights(self._cohort.globals[section], section=section)
+        optimizer = client.optimizer
+        optimizer.reset_state()
+        if isinstance(optimizer, ProximalSGD):
+            optimizer.set_anchor(
+                {section: model.flat_parameters(section) for section in model.SECTIONS}
+            )
+        last: Optional[float] = None
+        for _ in range(drawn):
+            xb, yb = client.loader.next_batch()
+            last, _ = model.train_batch(xb, yb, optimizer)
+        return last
+
+    def abandon(self, client, drawn: int) -> None:
+        """Leave without materializing weights: only sync the loader.
+
+        Used on disconnect / round supersede, where the per-client run
+        would have advanced the loader by ``drawn`` draws but the weights
+        are about to be overwritten anyway.
+        """
+        cohort = self._cohort
+        state = self._state
+        client.loader.set_state(state.start_loader_state)
+        for _ in range(drawn):
+            client.loader.next_batch()
+        cohort.executor.stats["abandons"] += 1
+        cohort.detach(state)
+
+
+class _Cohort:
+    """One lockstep group: shared arenas, shadow loaders, wave counter."""
+
+    def __init__(
+        self,
+        executor: "BatchedClientExecutor",
+        key: tuple,
+        round_number: int,
+        members: Sequence[Tuple[int, object, int]],
+        globals_by_section: Dict[str, np.ndarray],
+    ) -> None:
+        self.executor = executor
+        self.key = key
+        self.round_number = round_number
+        self.globals = globals_by_section
+        # (model name, dtype str, batch_n, input_shape, y dtype str, optimizer key)
+        self.batch_n = int(key[2])
+        self.input_shape = tuple(key[3])
+        self.members: Dict[int, _LaneState] = {
+            client_id: _LaneState(client_id, total) for client_id, _, total in members
+        }
+        self.started = False
+        self.closing = False
+        self.steps_done = 0
+        self.max_steps = 0
+        self.trace: Optional[PhaseTrace] = None
+        self.model: Optional[BatchedModel] = None
+        self.optimizer: Optional[BatchedSGD] = None
+        self._active: List[_LaneState] = []
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------ activation
+    def activate(self, client) -> Optional[BatchedLane]:
+        state = self.members.get(client.client_id)
+        if state is None or state.activated or self.started or self.closing:
+            return None
+        state.activated = True
+        state.client = client
+        state.start_loader_state = client.loader.state()
+        if self.trace is None:
+            self.trace = phase_flops(client.model, self.batch_n, self.input_shape)
+        return BatchedLane(self, state)
+
+    def _start(self) -> None:
+        self.started = True
+        # Lanes that were claimed but already left (offload freeze, churn
+        # disconnect, round supersede before the first wave) materialized or
+        # abandoned through the per-client path; only live lanes get slots.
+        self._active = [
+            state for state in self.members.values() if state.activated and not state.detached
+        ]
+        for index, state in enumerate(self._active):
+            state.index = index
+        lanes = len(self._active)
+        self.max_steps = max(state.total_batches for state in self._active)
+        self.model, self.optimizer, self._x, self._y = self.executor._cohort_kernels(
+            self.key, lanes, self._active[0].client.model
+        )
+        self.model.unfreeze_features()
+        self.model.unfreeze_classifier()
+        self.model.load_all_lanes(self.globals)
+        self.optimizer.reset_state()
+        if isinstance(self.optimizer, BatchedProximalSGD):
+            self.optimizer.set_anchor(dict(self.globals))
+        for state in self._active:
+            loader = state.client.loader
+            shadow = BatchLoader(
+                loader.x, loader.y, batch_size=loader.batch_size, shuffle=loader.shuffle
+            )
+            shadow.set_state(state.start_loader_state)
+            state.shadow = shadow
+        self.executor.stats["cohorts_started"] += 1
+        self.executor.stats["lanes"] += lanes
+
+    # ----------------------------------------------------------------- waves
+    def advance(self) -> None:
+        """Run one lockstep wave: every lane trains its next batch."""
+        if not self.started:
+            self._start()
+        if self.steps_done >= self.max_steps:
+            raise RuntimeError(
+                f"cohort for round {self.round_number} advanced past its "
+                f"{self.max_steps}-step horizon"
+            )
+        for state in self._active:
+            xb, yb = state.shadow.next_batch()
+            self._x[state.index] = xb
+            self._y[state.index] = yb
+        losses = self.model.train_step(self._x, self._y, self.optimizer)
+        for state in self._active:
+            state.losses.append(float(losses[state.index]))
+        self.steps_done += 1
+        self.executor.stats["waves"] += 1
+
+    # ------------------------------------------------------------- lifecycle
+    def detach(self, state: _LaneState) -> None:
+        state.detached = True
+        state.client = None
+        self.executor._maybe_release(self)
+
+    def fully_detached(self) -> bool:
+        return all(
+            state.detached for state in self.members.values() if state.activated
+        )
+
+
+class BatchedClientExecutor:
+    """Plans and hosts the lockstep cohorts of each synchronous round.
+
+    The federator calls :meth:`plan_round` with the selected clients when
+    it fans out training requests; each client then calls :meth:`activate`
+    when its request arrives.  Clients whose request never arrives, arrives
+    late (after the first wave), or arrives twice simply fall back to the
+    per-client oracle path.  :meth:`finish_round` closes the round's
+    cohorts; lanes of dropped stragglers stay live until they materialize
+    or abandon.
+    """
+
+    def __init__(self, backend: Optional[ArrayBackend] = None) -> None:
+        self.backend = backend if backend is not None else get_array_backend()
+        self._plan: Dict[int, _Cohort] = {}
+        self._plan_round: Optional[int] = None
+        self._live: List[_Cohort] = []
+        self._kernel_cache: Dict[tuple, tuple] = {}
+        self.stats: Dict[str, int] = {
+            "rounds_planned": 0,
+            "cohorts_planned": 0,
+            "cohorts_started": 0,
+            "lanes": 0,
+            "waves": 0,
+            "fallbacks": 0,
+            "fast_materializations": 0,
+            "replays": 0,
+            "abandons": 0,
+        }
+
+    # ------------------------------------------------------------- planning
+    def _eligibility_key(self, actor) -> Optional[tuple]:
+        """Cohort grouping key for a client, or ``None`` for per-client.
+
+        Lockstep requires an identical kernel schedule across the whole
+        round: same architecture/dtype/input shape, same optimiser family
+        and hyper-parameters, and a *uniform* batch-size sequence (true iff
+        the dataset fits in one batch or divides evenly — ragged epoch
+        tails would change the GEMM shapes and break bitwise parity).
+        """
+        model = getattr(actor, "model", None)
+        loader = getattr(actor, "loader", None)
+        optimizer = getattr(actor, "optimizer", None)
+        if type(model) is not SplitCNN or loader is None:
+            return None
+        if type(optimizer) is ProximalSGD:
+            opt_key = (
+                "prox",
+                optimizer.lr,
+                optimizer.mu,
+                optimizer.momentum,
+                optimizer.weight_decay,
+            )
+        elif type(optimizer) is SGD:
+            opt_key = ("sgd", optimizer.lr, optimizer.momentum, optimizer.weight_decay)
+        else:
+            return None
+        n = loader.num_samples
+        batch_size = loader.batch_size
+        if n == 0 or (n > batch_size and n % batch_size):
+            return None
+        if loader.x.dtype != model.dtype:
+            return None
+        return (
+            model.name,
+            str(model.dtype),
+            min(batch_size, n),
+            tuple(loader.x.shape[1:]),
+            str(loader.y.dtype),
+            opt_key,
+        )
+
+    def plan_round(
+        self,
+        round_number: int,
+        members: Sequence[Tuple[int, object, int]],
+        global_model: SplitCNN,
+    ) -> None:
+        """Group ``(client_id, actor, total_batches)`` members into cohorts."""
+        self._plan = {}
+        self._plan_round = round_number
+        self.stats["rounds_planned"] += 1
+        groups: Dict[tuple, List[Tuple[int, object, int]]] = {}
+        for client_id, actor, total in members:
+            key = self._eligibility_key(actor)
+            if key is None or total < 1:
+                self.stats["fallbacks"] += 1
+                continue
+            groups.setdefault(key, []).append((client_id, actor, total))
+        globals_cache: Dict[Tuple[str, str], Dict[str, np.ndarray]] = {}
+        for key, group in groups.items():
+            if len(group) < 2:
+                # A cohort of one has nothing to amortise.
+                self.stats["fallbacks"] += len(group)
+                continue
+            cache_key = (key[0], key[1])
+            section_globals = globals_cache.get(cache_key)
+            if section_globals is None:
+                section_globals = {
+                    section: global_model.get_flat_weights(section)
+                    for section in global_model.SECTIONS
+                }
+                globals_cache[cache_key] = section_globals
+            cohort = _Cohort(self, key, round_number, group, section_globals)
+            for client_id, _, _ in group:
+                self._plan[client_id] = cohort
+            self._live.append(cohort)
+            self.stats["cohorts_planned"] += 1
+
+    def activate(self, client, round_number: int) -> Optional[BatchedLane]:
+        """A client's TRAIN_REQUEST arrived: claim its planned lane (or None)."""
+        if self._plan_round != round_number:
+            return None
+        cohort = self._plan.get(client.client_id)
+        if cohort is None:
+            return None
+        lane = cohort.activate(client)
+        if lane is None:
+            self.stats["fallbacks"] += 1
+        return lane
+
+    def finish_round(self, round_number: int) -> None:
+        """The round finalized: close its cohorts (stragglers keep pulling)."""
+        if self._plan_round == round_number:
+            self._plan = {}
+            self._plan_round = None
+        for cohort in list(self._live):
+            if cohort.round_number == round_number:
+                cohort.closing = True
+                self._maybe_release(cohort)
+
+    # ------------------------------------------------------------- internals
+    def _cohort_kernels(self, key: tuple, lanes: int, template: SplitCNN):
+        """(Re)use the batched model/optimiser/arena set for a cohort shape."""
+        cache_key = (key, lanes)
+        cached = self._kernel_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        model = BatchedModel(template, lanes, backend=self.backend)
+        opt_key = key[5]
+        if opt_key[0] == "prox":
+            optimizer: BatchedSGD = BatchedProximalSGD(
+                lr=opt_key[1],
+                mu=opt_key[2],
+                momentum=opt_key[3],
+                weight_decay=opt_key[4],
+                backend=self.backend,
+            )
+        else:
+            optimizer = BatchedSGD(
+                lr=opt_key[1], momentum=opt_key[2], weight_decay=opt_key[3], backend=self.backend
+            )
+        xp = self.backend.xp
+        batch_n, input_shape, y_dtype = key[2], key[3], key[4]
+        x_arena = xp.empty((lanes, batch_n) + tuple(input_shape), dtype=template.dtype)
+        y_arena = xp.empty((lanes, batch_n), dtype=np.dtype(y_dtype))
+        kernels = (model, optimizer, x_arena, y_arena)
+        self._kernel_cache[cache_key] = kernels
+        return kernels
+
+    def _maybe_release(self, cohort: _Cohort) -> None:
+        if cohort.closing and cohort.fully_detached() and cohort in self._live:
+            self._live.remove(cohort)
+            cohort.model = None
+            cohort.optimizer = None
+            cohort._x = None
+            cohort._y = None

@@ -224,6 +224,9 @@ class SplitCNN:
             section: _FlatSection(section, self._section_layers(section), self.dtype)
             for section in self.SECTIONS
         }
+        # The legacy dict-view adapter aliases the section view tables just
+        # rebuilt above, so any cached copy is stale now.
+        self._trainable_cache = None
 
     def num_parameters(self) -> int:
         """Total number of scalar trainable parameters."""
@@ -391,20 +394,24 @@ class SplitCNN:
     def freeze_features(self) -> None:
         """Freeze the feature layers (skip ``bf`` and feature updates)."""
         self.features_frozen = True
+        self._trainable_cache = None
 
     def unfreeze_features(self) -> None:
         """Undo :meth:`freeze_features`."""
         self.features_frozen = False
+        self._trainable_cache = None
 
     def freeze_classifier(self) -> None:
         """Freeze the classifier parameters (used by strong clients that train
         offloaded feature layers: the classifier backward pass still runs so
         gradients reach the features, but classifier weights are not updated)."""
         self.classifier_frozen = True
+        self._trainable_cache = None
 
     def unfreeze_classifier(self) -> None:
         """Undo :meth:`freeze_classifier`."""
         self.classifier_frozen = False
+        self._trainable_cache = None
 
     def _trainable_sections(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
         """Section name -> (parameter vector, gradient vector) for unfrozen sections."""
@@ -418,7 +425,16 @@ class SplitCNN:
         return sections
 
     def _trainable_params(self) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
-        """Per-key dict view of the unfrozen parameters (legacy adapter)."""
+        """Per-key dict view of the unfrozen parameters (legacy adapter).
+
+        The dicts only depend on the frozen-section mask and the section
+        view tables, so they are cached and invalidated on freeze/unfreeze
+        and on flat-buffer rebuilds; the cached values alias the flat
+        section buffers, never copy them.
+        """
+        cached = self._trainable_cache
+        if cached is not None:
+            return cached
         params: Dict[str, np.ndarray] = {}
         grads: Dict[str, np.ndarray] = {}
         for name, section in self._sections.items():
@@ -428,6 +444,7 @@ class SplitCNN:
                 continue
             params.update(section.views)
             grads.update(section.grad_views)
+        self._trainable_cache = (params, grads)
         return params, grads
 
     def train_batch(

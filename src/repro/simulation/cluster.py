@@ -76,6 +76,10 @@ class SimulatedCluster:
         #: Client actors (``repro.fl.client.FLClient``) by node id; attached
         #: so that churn events can abort a disconnected client's local work.
         self._actors: Dict[Any, Any] = {}
+        #: Optional ``repro.nn.batched.BatchedClientExecutor`` installed by
+        #: the runtime when ``batched_execution`` resolves to on; clients and
+        #: the federator discover it here (``None`` keeps the per-client path).
+        self.batched_executor: Optional[Any] = None
         #: Callbacks fired on every membership change: ``cb(client_id, online)``.
         self._membership_listeners: List[Callable[[Any, bool], None]] = []
 
