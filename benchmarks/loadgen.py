@@ -1,0 +1,43 @@
+"""BENCH_serve: throughput/latency of the ``repro serve`` service mode.
+
+Thin wrapper over :func:`repro.serve.loadgen.run_loadgen` (also reachable
+as ``repro bench --serve``): starts a server subprocess, hosts concurrent
+churn experiments, replays a high-rate mixed client workload from worker
+processes, and writes per-endpoint throughput and p50/p95/p99 latency to
+``BENCH_serve.json``.
+
+    python benchmarks/loadgen.py                  # full: 100k events
+    python benchmarks/loadgen.py --events 2000    # quick CI pass
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import conftest  # noqa: F401  (makes repro importable from a source tree)
+
+from repro.serve.loadgen import render_loadgen, run_loadgen
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=100_000, help="total client events")
+    parser.add_argument("--experiments", type=int, default=4, help="concurrent hosted runs")
+    parser.add_argument("--workers", type=int, default=4, help="client worker processes")
+    parser.add_argument("--batch", type=int, default=200, help="check-in events per request")
+    parser.add_argument("--output", default="BENCH_serve.json", help="result JSON path")
+    args = parser.parse_args()
+    results = run_loadgen(
+        events=args.events,
+        experiments=args.experiments,
+        workers=args.workers,
+        batch=args.batch,
+        output=args.output,
+    )
+    print(render_loadgen(results))
+    print(f"\nresults written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,7 +54,14 @@ thin shims over the same machinery.
 
 from repro.api.handles import RunHandle, SweepHandle, run, sweep
 from repro.api.spec import ExperimentSpec, experiment
-from repro.api.store import Results, RunStore, StoredRun, default_store, run_key
+from repro.api.store import (
+    Results,
+    RunLockedError,
+    RunStore,
+    StoredRun,
+    default_store,
+    run_key,
+)
 from repro.experiments.scheduler import (
     BudgetTracker,
     CellState,
@@ -94,6 +101,7 @@ __all__ = [
     "IllegalTransition",
     # persistence
     "RunStore",
+    "RunLockedError",
     "StoredRun",
     "Results",
     "default_store",

@@ -26,6 +26,7 @@ rest through the execution policy of :mod:`repro.experiments.parallel`
 
 from __future__ import annotations
 
+import queue
 import time
 from collections import deque
 from pathlib import Path
@@ -88,6 +89,14 @@ class RunHandle:
         #: Round the run was resumed from (``None``: ran from the start).
         self.resumed_from_round: Optional[int] = None
         self._checkpoint: Optional[dict] = None
+        #: The built :class:`repro.fl.runtime.ExperimentHandle`, set once
+        #: execution starts (``None`` for store replays).  ``repro serve``
+        #: reaches the live :class:`ScenarioDynamics` through this.
+        self.experiment = None
+        #: Whether the run was stopped early by :meth:`request_stop`.
+        self.stopped = False
+        self._stop_mode: Optional[str] = None
+        self._injections: "queue.SimpleQueue[Callable[[], None]]" = queue.SimpleQueue()
         if resume and self._stored is None and self.store is not None:
             from repro.api.store import CHECKPOINT_NAME
             from repro.fl.checkpoint import load_checkpoint
@@ -122,6 +131,55 @@ class RunHandle:
         for listener in self._listeners:
             listener(record)
 
+    # --------------------------------------------------------------- control
+    def inject(self, action: Callable[[], None]) -> None:
+        """Run ``action`` inside the simulation thread, between two events.
+
+        The only thread-safe way to touch live simulation state (the
+        cluster, the scenario dynamics) from outside the thread driving
+        :meth:`stream`: actions are queued and executed at the next pump of
+        the event loop, where no event is mid-flight.  ``repro serve``'s
+        ``/checkin`` endpoint feeds device availability events through
+        this seam.  A failing action is logged and dropped — it must not
+        kill the run.
+        """
+        self._injections.put(action)
+
+    def request_stop(self, mode: str = "checkpoint") -> None:
+        """Ask the running stream to stop at the next safe point.
+
+        ``mode="checkpoint"`` (graceful drain): keep pumping until the next
+        checkpoint opportunity succeeds, persist the snapshot, mark the
+        stored run incomplete and end the stream — a later ``resume=True``
+        run of the same config continues bitwise-identically.  Requires a
+        store and ``config.checkpoint_interval``; without them it degrades
+        to ``mode="abort"``.
+
+        ``mode="abort"`` (cancel): stop at the next event boundary, mark
+        the stored run incomplete and delete any mid-run checkpoint, so
+        the cancellation is not silently resurrected by a resume.
+
+        Thread-safe; a no-op once the run has completed.
+        """
+        if mode not in ("checkpoint", "abort"):
+            raise ValueError(f"unknown stop mode {mode!r}; use 'checkpoint' or 'abort'")
+        self._stop_mode = mode
+
+    def _drain_injections(self) -> None:
+        import logging
+
+        while True:
+            try:
+                action = self._injections.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                action()
+            except Exception:
+                logging.getLogger(__name__).exception(
+                    "injected action %r raised; dropped", action
+                )
+
     # ------------------------------------------------------------- execution
     def stream(self) -> Iterator[RoundRecord]:
         """The run as an iterator of finalized rounds (single underlying
@@ -143,6 +201,7 @@ class RunHandle:
 
         start = time.perf_counter()
         experiment = build_experiment(self.config)
+        self.experiment = experiment
         snapshot = self._checkpoint
         if snapshot is not None:
             # Overwrite the freshly built experiment's state with the
@@ -162,6 +221,7 @@ class RunHandle:
             if self.store is not None
             else None
         )
+        checkpointer = None
         try:
             if writer is not None and self.config.checkpoint_interval is not None:
                 checkpointer = RunCheckpointer(
@@ -174,6 +234,7 @@ class RunHandle:
             if snapshot is None:
                 experiment.federator.start()
             env = experiment.cluster.env
+            checkpoints_before_stop: Optional[int] = None
             while True:
                 while pending:
                     record = pending.popleft()
@@ -181,6 +242,29 @@ class RunHandle:
                         writer.append(record)
                     self._notify(record)
                     yield record
+                self._drain_injections()
+                mode = self._stop_mode
+                if mode == "checkpoint" and checkpointer is not None:
+                    # Graceful drain: force a checkpoint and keep pumping
+                    # until one lands (capture refuses mid-round), then end
+                    # the stream; the finally clause marks the stored run
+                    # incomplete, leaving it resumable.
+                    if checkpoints_before_stop is None:
+                        checkpoints_before_stop = checkpointer.written
+                        checkpointer.force()
+                    if checkpointer.written > checkpoints_before_stop:
+                        self.stopped = True
+                        return
+                elif mode is not None:
+                    # Cancel: stop now and drop any mid-run checkpoint so a
+                    # later resume cannot resurrect the cancelled run.
+                    if mode == "abort" and writer is not None:
+                        try:
+                            writer.checkpoint_path.unlink()
+                        except OSError:
+                            pass
+                    self.stopped = True
+                    return
                 if not env.step():
                     break
             result = experiment.federator.result

@@ -27,6 +27,7 @@ import dataclasses
 import json
 import os
 import subprocess
+import threading
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
@@ -72,6 +73,94 @@ def run_key(config: ExperimentConfig) -> str:
 
 MANIFEST_NAME = "manifest.json"
 ROUNDS_NAME = "rounds.jsonl"
+#: Per-run writer lock: exists (holding the writer's pid) while a
+#: RunWriter materializes the run, so two sessions can never interleave
+#: ``manifest.json``/``rounds.jsonl`` writes for one ``run_key``.
+LOCK_NAME = "writer.lock"
+
+
+class RunLockedError(RuntimeError):
+    """Another live writer is materializing this run right now."""
+
+
+#: Lock files held by writers of *this* process, so a same-pid conflict
+#: (two threads, e.g. two server sessions) is distinguished from a stale
+#: lock left behind by a crashed previous process that recycled our pid.
+_HELD_LOCKS: set = set()
+_HELD_LOCKS_GUARD = threading.Lock()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but owned elsewhere
+    return True
+
+
+def _acquire_run_lock(lock_path: Path) -> None:
+    """Take the per-run writer lock or raise :class:`RunLockedError`.
+
+    The lock is an ``O_CREAT | O_EXCL`` file holding the writer's pid.  A
+    lock whose pid is no longer alive is *stale* — its writer crashed (the
+    SIGKILL crash-injection tests leave exactly this behind) — and is
+    broken and re-taken; a live pid means a genuinely concurrent writer.
+    """
+    key = str(lock_path)
+    for _ in range(64):
+        try:
+            fd = os.open(key, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            with _HELD_LOCKS_GUARD:
+                held_here = key in _HELD_LOCKS
+            if held_here:
+                raise RunLockedError(
+                    f"run is already being written by this process: {lock_path.parent}"
+                )
+            try:
+                raw = lock_path.read_text().strip()
+                pid = int(raw) if raw else None
+            except (OSError, ValueError):
+                pid = None
+            if pid is None:
+                # Creator may be mid-write; give it a beat, then treat the
+                # still-empty file as debris from a crash.
+                time.sleep(0.01)
+                try:
+                    raw = lock_path.read_text().strip()
+                    pid = int(raw) if raw else None
+                except (OSError, ValueError):
+                    pid = None
+            if pid is not None and _pid_alive(pid):
+                raise RunLockedError(
+                    f"run is locked by live writer pid {pid}: {lock_path.parent}"
+                )
+            # Stale: break it and retry (a racing breaker's unlink may win).
+            try:
+                os.unlink(key)
+            except OSError:
+                pass
+            continue
+        try:
+            os.write(fd, str(os.getpid()).encode("ascii"))
+        finally:
+            os.close(fd)
+        with _HELD_LOCKS_GUARD:
+            _HELD_LOCKS.add(key)
+        return
+    raise RunLockedError(f"could not acquire writer lock: {lock_path}")
+
+
+def _release_run_lock(lock_path: Path) -> None:
+    key = str(lock_path)
+    with _HELD_LOCKS_GUARD:
+        _HELD_LOCKS.discard(key)
+    try:
+        os.unlink(key)
+    except OSError:
+        pass
 #: Mid-run resume checkpoint (see :mod:`repro.fl.checkpoint`), written
 #: into the run directory every ``config.checkpoint_interval`` rounds and
 #: removed when the run finalizes.
@@ -131,6 +220,10 @@ class RunWriter:
         self.path.mkdir(parents=True, exist_ok=True)
         self._rounds_path = self.path / ROUNDS_NAME
         self.checkpoint_path = self.path / CHECKPOINT_NAME
+        self._lock_path = self.path / LOCK_NAME
+        # Exclusive materialization: a second concurrent writer of the same
+        # run_key raises RunLockedError instead of interleaving writes.
+        _acquire_run_lock(self._lock_path)
         self._num_rounds = 0
         self._manifest = {
             "format": STORE_FORMAT,
@@ -148,14 +241,18 @@ class RunWriter:
             "status": "running",
             "config": _jsonable(dataclasses.asdict(config)),
         }
-        self._write_manifest()
-        # Truncate any stale rounds from a previous (crashed) attempt; a
-        # resume re-writes the rounds recorded before the checkpoint (they
-        # are part of the snapshot), so a torn last line from the crash can
-        # never survive into the resumed file.
-        self._rounds_file = open(self._rounds_path, "w")
-        for record in initial_records or ():
-            self.append(record)
+        try:
+            self._write_manifest()
+            # Truncate any stale rounds from a previous (crashed) attempt; a
+            # resume re-writes the rounds recorded before the checkpoint (they
+            # are part of the snapshot), so a torn last line from the crash can
+            # never survive into the resumed file.
+            self._rounds_file = open(self._rounds_path, "w")
+            for record in initial_records or ():
+                self.append(record)
+        except BaseException:
+            _release_run_lock(self._lock_path)
+            raise
 
     def _write_manifest(self) -> None:
         _atomic_write(
@@ -196,6 +293,7 @@ class RunWriter:
             },
         )
         self._write_manifest()
+        _release_run_lock(self._lock_path)
         return StoredRun(self.path)
 
     def abort(self) -> None:
@@ -204,6 +302,7 @@ class RunWriter:
             self._rounds_file.close()
         self._manifest["status"] = "incomplete"
         self._write_manifest()
+        _release_run_lock(self._lock_path)
 
 
 class StoredRun:
@@ -313,6 +412,16 @@ class StoredRun:
             # Manifests from before the transport work carry no counters.
             network={str(k): float(v) for k, v in meta.get("network", {}).items()},
         )
+
+    def load_config(self) -> ExperimentConfig:
+        """Rebuild the run's full :class:`ExperimentConfig` from the manifest.
+
+        This is how a restarted ``repro serve`` resumes in-flight runs: the
+        manifest's ``config`` field is the ``asdict`` form written at start.
+        """
+        from repro.fl.config import config_from_dict
+
+        return config_from_dict(dict(self.manifest["config"]))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StoredRun({self.label!r}, {self.status}, {self.config_hash[:12]})"
@@ -539,6 +648,41 @@ class Results:
                 return run.load_result()
         known = ", ".join(self.labels()) or "(store is empty)"
         raise KeyError(f"no stored run {label_or_hash!r}; known: {known}")
+
+    def to_json(self, **filters: object) -> Dict[str, object]:
+        """Machine-readable summaries of the stored runs.
+
+        The service clients and the loadgen benchmark assert results from
+        this document instead of scraping rendered tables (``repro report
+        --json`` prints it).  Accepts the same filters as :meth:`runs`;
+        pass ``complete_only=False`` to include crashed/in-flight runs.
+        """
+        runs: List[Dict[str, object]] = []
+        for label, run in self._labelled(**filters):
+            manifest = run.manifest
+            runs.append(
+                {
+                    "label": label,
+                    "config_hash": run.config_hash,
+                    "status": run.status,
+                    "algorithm": run.algorithm,
+                    "dataset": run.dataset,
+                    "scenario": run.scenario,
+                    "partition": manifest.get("partition"),
+                    "seed": manifest.get("seed"),
+                    "dtype": manifest.get("dtype"),
+                    "num_rounds": manifest.get("num_rounds"),
+                    "wall_seconds": manifest.get("wall_seconds"),
+                    "has_checkpoint": run.has_checkpoint,
+                    "summary": run.summary,
+                }
+            )
+        return {
+            "results_dir": str(self.store.root),
+            "store_format": STORE_FORMAT,
+            "count": len(runs),
+            "runs": runs,
+        }
 
     # ------------------------------------------------------------- rendering
     def render_summary(self, title: str = "", **filters: object) -> str:

@@ -15,9 +15,14 @@ experiment harness without writing any Python:
 ``repro report``
     Re-render summary tables from a persisted results directory alone
     (see ``--results-dir`` / :class:`repro.api.RunStore`).
+``repro serve``
+    Long-lived experiment server: submit specs over HTTP, stream rounds
+    live as JSONL, feed device check-ins into running scenarios; SIGTERM
+    drains via checkpoints and a restart resumes bitwise-identically.
 ``repro bench``
     Time the same sweep serially and in parallel, verify the summaries
-    are identical, and report the speedup.
+    are identical, and report the speedup.  ``--serve`` benchmarks the
+    service mode instead (loadgen -> BENCH_serve.json).
 
 Every subcommand accepts ``--scale {smoke,bench,full}`` (defaulting to the
 ``REPRO_SCALE`` environment variable) and the sweep-shaped ones accept
@@ -377,6 +382,61 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--algorithm", default=None, help="only runs of this algorithm")
     report_p.add_argument("--dataset", default=None, help="only runs on this dataset")
     report_p.add_argument("--scenario", default=None, help="only runs of this scenario")
+    report_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print machine-readable run summaries (repro.api.Results.to_json) "
+        "instead of rendered tables; includes incomplete/crashed runs",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the long-lived experiment server",
+        description="Serve experiments over HTTP: submit validated specs, stream "
+        "rounds live as JSONL, feed device check-ins into running scenarios, and "
+        "query/cancel hosted runs. Every run persists through the results "
+        "directory's RunStore, so `repro report` works on it unchanged. SIGTERM "
+        "drains gracefully: in-flight runs checkpoint and a restarted server "
+        "resumes them bitwise-identically. See docs/api.md for the protocol.",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument(
+        "--port", type=int, default=8321, help="bind port; 0 picks a free one (default: 8321)"
+    )
+    serve_p.add_argument(
+        "--results-dir",
+        required=True,
+        metavar="DIR",
+        help="RunStore directory every hosted run persists through (required)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent experiment worker threads (default: 4)",
+    )
+    serve_p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        metavar="K",
+        help="default checkpoint cadence (rounds) applied to hosted runs that "
+        "set none, so a drain can always checkpoint them (default: 1)",
+    )
+    serve_p.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="do not auto-resume resumable runs found in the results dir at startup",
+    )
+    serve_p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="seconds allowed for checkpointing in-flight runs on SIGTERM (default: 120)",
+    )
+    _add_dtype_flag(serve_p)
 
     bench_p = sub.add_parser(
         "bench",
@@ -433,6 +493,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="--engine discarded warmup runs per benchmark (default: 3, or 1 at smoke scale)",
+    )
+    bench_p.add_argument(
+        "--serve",
+        action="store_true",
+        help="benchmark the service mode instead: start a `repro serve` "
+        "subprocess, host concurrent churn experiments, replay a high-rate "
+        "client workload from worker processes, and write per-endpoint "
+        "throughput + p50/p95/p99 latency to BENCH_serve.json",
+    )
+    bench_p.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--serve total client events (default: 100000, or 2000 at smoke scale)",
+    )
+    bench_p.add_argument(
+        "--experiments",
+        type=int,
+        default=4,
+        metavar="N",
+        help="--serve concurrent hosted experiments (default: 4)",
     )
     # No --cache-dir here: bench times actual execution, and serving the
     # parallel leg from a warm cache would turn the "speedup" into a
@@ -682,6 +764,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         filters["dataset"] = args.dataset
     if args.scenario:
         filters["scenario"] = args.scenario
+    if args.json:
+        import json as _json
+
+        # Machine-readable mode reports *everything* (service clients need
+        # to see incomplete/checkpointed runs too, not just finished ones).
+        print(_json.dumps(results.to_json(complete_only=False, **filters), indent=2, sort_keys=True))
+        return 0
     if not results.runs(**filters):
         print(f"repro report: no complete runs in {args.results_dir}", file=sys.stderr)
         return 1
@@ -721,11 +810,55 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived experiment server (see :mod:`repro.serve`)."""
+    _apply_dtype(args)
+    from repro.serve.server import run_server
+
+    return run_server(
+        args.results_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        checkpoint_interval=args.checkpoint_interval,
+        resume=not args.no_resume,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+def _cmd_bench_serve(args: argparse.Namespace, scale: ScaleProfile) -> int:
+    """Service-mode benchmark: loadgen against a `repro serve` subprocess."""
+    from repro.serve.loadgen import render_loadgen, run_loadgen
+
+    events = args.events
+    if events is None:
+        events = 2000 if scale.name == "smoke" else 100_000
+    output = args.output if args.output != "BENCH_engine.json" else "BENCH_serve.json"
+    workers = resolve_workers(args.workers) if args.workers is not None else 4
+    print(
+        f"benchmarking repro serve: {events} events, {args.experiments} hosted "
+        f"experiments, {workers} client workers ...",
+        file=sys.stderr,
+    )
+    results = run_loadgen(
+        events=events,
+        experiments=args.experiments,
+        workers=workers,
+        output=output,
+        seed=args.seed,
+    )
+    print(render_loadgen(results))
+    print(f"\nresults written to {output}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
     _apply_dtype(args)
     if args.engine:
         return _cmd_bench_engine(args, scale)
+    if args.serve:
+        return _cmd_bench_serve(args, scale)
     configs = _grid_configs(
         args.datasets,
         args.algorithms,
@@ -789,6 +922,7 @@ _COMMANDS: Mapping[str, Callable[[argparse.Namespace], int]] = {
     "sweep": _cmd_sweep,
     "figures": _cmd_figures,
     "report": _cmd_report,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

@@ -260,6 +260,15 @@ class RunCheckpointer:
     def install(self) -> None:
         self.experiment.federator.checkpoint_hook = self.maybe_checkpoint
 
+    def force(self) -> None:
+        """Make the next capture opportunity write, whatever the interval.
+
+        The graceful-drain path of ``repro serve`` uses this: on SIGTERM
+        every in-flight run is asked to checkpoint at its next quiet point
+        and stop, so a restarted server resumes it bitwise-identically.
+        """
+        self._due = True
+
     def maybe_checkpoint(self) -> None:
         federator = self.experiment.federator
         if federator.finished:

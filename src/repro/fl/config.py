@@ -459,3 +459,30 @@ class ExperimentConfig:
             "scenario": self.dynamics.scenario,
             "client_pool": self.client_pool,
         }
+
+
+# ---------------------------------------------------------------------------
+# Round-tripping configs through JSON (RunStore manifests, the serve protocol)
+# ---------------------------------------------------------------------------
+def config_to_dict(config: ExperimentConfig) -> Dict[str, object]:
+    """JSON-safe dict round-trippable through :func:`config_from_dict`."""
+    import dataclasses
+
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(payload: Dict[str, object]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from its ``asdict`` form.
+
+    This is how a restarted ``repro serve`` reconstructs in-flight runs
+    from their :class:`repro.api.RunStore` manifests (``manifest["config"]``
+    is exactly this shape), and how the wire protocol accepts full-config
+    submissions.  Unknown keys raise ``TypeError`` like the dataclass
+    constructor would, so a manifest from an incompatible version fails
+    loudly instead of running a silently different experiment.
+    """
+    payload = dict(payload)
+    payload["resources"] = ResourceConfig(**dict(payload.get("resources") or {}))
+    payload["dynamics"] = DynamicsConfig(**dict(payload.get("dynamics") or {}))
+    payload["transport"] = TransportConfig(**dict(payload.get("transport") or {}))
+    return ExperimentConfig(**payload)

@@ -9,10 +9,13 @@ structures in this module capture everything those reports need.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -70,8 +73,20 @@ class ExperimentResult:
 
     def add_round(self, record: RoundRecord) -> None:
         self.rounds.append(record)
-        for listener in self._round_listeners:
-            listener(record)
+        # A failing listener (e.g. a streaming client that disconnected
+        # mid-run) must not kill the federator round loop or starve the
+        # listeners after it: log, detach the offender, continue.
+        for listener in list(self._round_listeners):
+            try:
+                listener(record)
+            except Exception:
+                logger.exception(
+                    "round listener %r raised; detaching it from the stream", listener
+                )
+                try:
+                    self._round_listeners.remove(listener)
+                except ValueError:
+                    pass
 
     # ------------------------------------------------------------- summaries
     @property

@@ -92,6 +92,8 @@ class ScenarioDynamics:
         self.slowdown_events = 0
         self.bandwidth_events = 0
         self.loss_burst_events = 0
+        #: Externally admitted availability events (service mode /checkin).
+        self.checkin_events = 0
         #: Clients currently slowed down -> nesting depth of active bursts.
         self._active_slowdowns: Dict[int, int] = {}
         #: Latest bandwidth-trace token per client: when traces overlap on
@@ -253,6 +255,43 @@ class ScenarioDynamics:
         self._loss_burst_tokens.pop(client_id, None)
         self.cluster.clear_link_loss(client_id)
 
+    # ------------------------------------------------------- external checkins
+    def admit_checkin(self, client_id: int, online: bool, delay: float = 0.0) -> Event:
+        """Admit an externally driven availability event (service mode).
+
+        ``repro serve``'s ``/checkin`` endpoint feeds simulated device
+        check-ins into a hosted run through this seam: the transition is
+        scheduled on the event queue like every scenario event (so it
+        composes with churn, in-flight messages and checkpoints) and is
+        applied at the next pump of the simulation.  Unlike churn windows,
+        a check-in schedules no follow-up events and draws nothing from the
+        rng stream.  Must be called from the thread driving the simulation
+        (use :meth:`repro.api.RunHandle.inject` from other threads).
+        """
+        client_id = int(client_id)
+        if not 0 <= client_id < len(self.cluster.client_ids):
+            raise ValueError(
+                f"check-in for unknown client {client_id} "
+                f"(cohort has {len(self.cluster.client_ids)} clients)"
+            )
+        return self._schedule(float(delay), "checkin", (client_id, bool(online)))
+
+    def _checkin(self, client_id: int, online: bool) -> None:
+        if self._stopped():
+            return
+        self.checkin_events += 1
+        if online:
+            if not self.cluster.is_online(client_id):
+                self.online_events += 1
+                self.cluster.set_client_online(client_id)
+        else:
+            if (
+                self.cluster.is_online(client_id)
+                and self.cluster.online_client_count > self.dynamics.min_online_clients
+            ):
+                self.offline_events += 1
+                self.cluster.set_client_offline(client_id)
+
     #: Declarative event kinds: every scheduled dynamics event is one of
     #: these method names plus plain-data args, so the pending set is
     #: serializable for checkpoints.
@@ -265,6 +304,7 @@ class ScenarioDynamics:
         "restore_link": _restore_link,
         "loss_burst": _loss_burst,
         "restore_loss": _restore_loss,
+        "checkin": _checkin,
     }
 
     # ------------------------------------------------------ checkpoint seams
@@ -286,6 +326,7 @@ class ScenarioDynamics:
             "slowdown_events": self.slowdown_events,
             "bandwidth_events": self.bandwidth_events,
             "loss_burst_events": self.loss_burst_events,
+            "checkin_events": self.checkin_events,
             "active_slowdowns": dict(self._active_slowdowns),
             "link_trace_tokens": dict(self._link_trace_tokens),
             "link_trace_counter": self._link_trace_counter,
@@ -316,6 +357,8 @@ class ScenarioDynamics:
         self.slowdown_events = int(state["slowdown_events"])
         self.bandwidth_events = int(state["bandwidth_events"])
         self.loss_burst_events = int(state["loss_burst_events"])
+        # Checkpoints written before service mode carry no check-in counter.
+        self.checkin_events = int(state.get("checkin_events", 0))
         self._active_slowdowns = dict(state["active_slowdowns"])
         self._link_trace_tokens = dict(state["link_trace_tokens"])
         self._link_trace_counter = int(state["link_trace_counter"])

@@ -3,11 +3,20 @@
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
 import repro.api as api
-from repro.api.store import MANIFEST_NAME, ROUNDS_NAME, STORE_FORMAT, run_key
+from repro.api.store import (
+    LOCK_NAME,
+    MANIFEST_NAME,
+    ROUNDS_NAME,
+    STORE_FORMAT,
+    run_key,
+)
 from repro.experiments.workloads import SCALES, evaluation_config
 from repro.fl.runtime import run_experiment
 
@@ -187,3 +196,78 @@ class TestResultsQueries:
         second = api.sweep(configs, store=tmp_path)
         assert sorted(second.store_hits) == ["mnist/fedavg", "mnist/fedsgd"]
         assert second.summaries() == first.summaries()
+
+class TestWriterLock:
+    """The per-run writer lock (concurrent-server / crashed-writer safety)."""
+
+    def test_second_simultaneous_writer_is_rejected(self, tmp_path, smoke_eval_config):
+        store = api.RunStore(tmp_path)
+        writer = store.start_run(smoke_eval_config)
+        with pytest.raises(api.RunLockedError):
+            store.start_run(smoke_eval_config)
+        # A *different* configuration is a different lock: unaffected.
+        other = smoke_eval_config.with_overrides(seed=12)
+        store.start_run(other).abort()
+        writer.abort()
+        # Releasing the lock (abort or finalize) re-opens the run.
+        store.start_run(smoke_eval_config).abort()
+
+    def test_lock_survives_only_while_held(self, tmp_path, smoke_eval_config):
+        store = api.RunStore(tmp_path)
+        lock = tmp_path / run_key(smoke_eval_config) / LOCK_NAME
+        writer = store.start_run(smoke_eval_config)
+        assert lock.read_text().strip() == str(os.getpid())
+        writer.abort()
+        assert not lock.exists()
+
+    def test_stale_lock_from_dead_writer_is_broken(self, tmp_path, smoke_eval_config):
+        # A crashed writer (the SIGKILL crash-injection scenario) leaves a
+        # lock whose pid is gone; the next writer must break it, not fail.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        run_dir = tmp_path / run_key(smoke_eval_config)
+        run_dir.mkdir(parents=True)
+        (run_dir / LOCK_NAME).write_text(str(proc.pid))
+
+        store = api.RunStore(tmp_path)
+        writer = store.start_run(smoke_eval_config)  # must not raise
+        assert (run_dir / LOCK_NAME).read_text().strip() == str(os.getpid())
+        writer.abort()
+
+    def test_lock_held_by_live_foreign_pid_is_respected(
+        self, tmp_path, smoke_eval_config
+    ):
+        run_dir = tmp_path / run_key(smoke_eval_config)
+        run_dir.mkdir(parents=True)
+        (run_dir / LOCK_NAME).write_text(str(os.getppid()))  # alive, not ours
+        store = api.RunStore(tmp_path)
+        with pytest.raises(api.RunLockedError, match="live writer"):
+            store.start_run(smoke_eval_config)
+
+
+class TestResultsToJson:
+    def test_to_json_is_machine_readable_and_filtered(self, tmp_path, smoke_eval_config):
+        api.run(smoke_eval_config, store=tmp_path).result()
+        abandoned = smoke_eval_config.with_overrides(seed=12)
+        api.RunStore(tmp_path).start_run(abandoned).abort()
+
+        results = api.Results.open(tmp_path)
+        document = results.to_json()
+        assert document["results_dir"] == str(tmp_path)
+        assert document["store_format"] == STORE_FORMAT
+        assert document["count"] == 1
+        (run,) = document["runs"]
+        assert run["config_hash"] == run_key(smoke_eval_config)
+        assert run["status"] == "complete"
+        assert run["algorithm"] == "fedsgd"
+        assert run["seed"] == 11
+        assert run["summary"]["rounds"] == float(run["num_rounds"])
+        # The whole document is JSON-serializable as-is.
+        json.loads(json.dumps(document))
+
+        everything = results.to_json(complete_only=False)
+        assert everything["count"] == 2
+        assert sorted(r["status"] for r in everything["runs"]) == [
+            "complete",
+            "incomplete",
+        ]
