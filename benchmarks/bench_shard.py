@@ -1,0 +1,34 @@
+"""BENCH_shard: sharded multi-process simulation scaling + memory ceiling.
+
+Thin wrapper over :func:`repro.simulation.shard_bench.run_shard_bench`
+(also reachable as ``repro bench --shard``): runs the 1/2/4-shard
+round-throughput ladder on a compute-heavy metro workload (with the
+bitwise-parity invariant enforced inline), then a continent-scale run
+asserting every worker's peak RSS stays bounded well below the parent's.
+
+    python benchmarks/bench_shard.py            # full: metro ladder + continent
+    python benchmarks/bench_shard.py --quick    # reduced ladder, CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import conftest  # noqa: F401  (makes repro importable from a source tree)
+
+from repro.simulation.shard_bench import render_shard_bench, run_shard_bench
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced CI-sized ladder")
+    parser.add_argument("--output", default="BENCH_shard.json", help="result JSON path")
+    args = parser.parse_args()
+    results = run_shard_bench(quick=args.quick, output=args.output)
+    print(render_shard_bench(results))
+    print(f"\nresults written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,8 +24,10 @@ report tables from the store alone, with no in-memory results.
 from __future__ import annotations
 
 import dataclasses
+import fcntl
 import json
 import os
+import random
 import subprocess
 import threading
 import time
@@ -100,6 +102,82 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def _read_lock(lock_path: Path) -> Optional[tuple]:
+    """Read one lock file as ``(pid, inode)``, or ``None`` when gone.
+
+    Opening by fd binds the pid we classify to the *inode* we read it from:
+    a later break must name that same inode, so a stale-lock verdict can
+    never be applied to a fresh lock that replaced it in the meantime.
+    """
+    try:
+        fd = os.open(str(lock_path), os.O_RDONLY)
+    except OSError:
+        return None
+    try:
+        inode = os.fstat(fd).st_ino
+        raw = os.read(fd, 64).strip()
+    except OSError:
+        return None
+    finally:
+        os.close(fd)
+    try:
+        pid = int(raw) if raw else None
+    except ValueError:
+        pid = None
+    return (pid, inode)
+
+
+def _break_stale_lock(lock_path: Path, stale_inode: int) -> None:
+    """Break one *verified-stale* lock without ever deleting a fresh one.
+
+    The naive break (``unlink(lock_path)``) races: two processes classify
+    the same lock stale, breaker A unlinks and re-creates, and breaker B's
+    delayed unlink then deletes A's *fresh* lock — two live writers on one
+    ``rounds.jsonl``.  Fix: all breaks for a path are serialized through an
+    ``flock``-ed guard file, and the verdict is re-checked *under* the
+    guard against the inode the classification was made from.  A lock that
+    was replaced (different inode) or revived (live pid again) is left
+    alone; only the exact stale inode we classified is unlinked — and
+    while we hold the guard nothing else can swap the file out from under
+    us (writers only ever create through ``O_EXCL`` on an absent path, a
+    stale lock has no live owner to release it, and rival breakers queue
+    on the guard).  The zero-byte guard file is left behind; it is inert
+    advisory state, and deleting it would reopen the race on its inode.
+    """
+    guard = lock_path.with_name(lock_path.name + ".break")
+    try:
+        guard_fd = os.open(str(guard), os.O_CREAT | os.O_RDWR)
+    except OSError:
+        return
+    try:
+        fcntl.flock(guard_fd, fcntl.LOCK_EX)
+        current = _read_lock(lock_path)
+        if current is None:
+            return  # a rival breaker got here first
+        pid, inode = current
+        if inode != stale_inode:
+            return  # replaced by a fresh lock since we classified
+        if pid is not None and _pid_alive(pid):
+            return  # pid recycled into a live process: not ours to break
+        os.unlink(str(lock_path))
+    except OSError:
+        pass
+    finally:
+        os.close(guard_fd)
+
+
+def _sleep_backoff(rng: "random.Random", attempt: int) -> None:
+    """Jittered exponential backoff between lock-acquire attempts.
+
+    The fixed-cadence spin let every contender re-classify and re-break in
+    lockstep — a retry storm where N processes hammer the same inode and
+    keep colliding.  Seeding the jitter off the pid decorrelates them while
+    keeping each process's schedule deterministic for tests.
+    """
+    base = min(0.2, 0.005 * (2 ** min(attempt, 5)))
+    time.sleep(base * (0.5 + rng.random()))
+
+
 def _acquire_run_lock(lock_path: Path) -> None:
     """Take the per-run writer lock or raise :class:`RunLockedError`.
 
@@ -107,9 +185,12 @@ def _acquire_run_lock(lock_path: Path) -> None:
     lock whose pid is no longer alive is *stale* — its writer crashed (the
     SIGKILL crash-injection tests leave exactly this behind) — and is
     broken and re-taken; a live pid means a genuinely concurrent writer.
+    Stale locks are broken through the serialized, inode-verified path of
+    :func:`_break_stale_lock`, never by a blind unlink.
     """
     key = str(lock_path)
-    for _ in range(64):
+    rng = random.Random(os.getpid())
+    for attempt in range(64):
         try:
             fd = os.open(key, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
@@ -119,29 +200,24 @@ def _acquire_run_lock(lock_path: Path) -> None:
                 raise RunLockedError(
                     f"run is already being written by this process: {lock_path.parent}"
                 )
-            try:
-                raw = lock_path.read_text().strip()
-                pid = int(raw) if raw else None
-            except (OSError, ValueError):
-                pid = None
+            lock = _read_lock(lock_path)
+            if lock is None:
+                continue  # gone between EXCL-fail and read: retry
+            pid, inode = lock
             if pid is None:
-                # Creator may be mid-write; give it a beat, then treat the
-                # still-empty file as debris from a crash.
+                # Creator may be mid-write; give it a beat, then re-read —
+                # a still-empty file is debris from a crash.
                 time.sleep(0.01)
-                try:
-                    raw = lock_path.read_text().strip()
-                    pid = int(raw) if raw else None
-                except (OSError, ValueError):
-                    pid = None
+                lock = _read_lock(lock_path)
+                if lock is None:
+                    continue
+                pid, inode = lock
             if pid is not None and _pid_alive(pid):
                 raise RunLockedError(
                     f"run is locked by live writer pid {pid}: {lock_path.parent}"
                 )
-            # Stale: break it and retry (a racing breaker's unlink may win).
-            try:
-                os.unlink(key)
-            except OSError:
-                pass
+            _break_stale_lock(lock_path, inode)
+            _sleep_backoff(rng, attempt)
             continue
         try:
             os.write(fd, str(os.getpid()).encode("ascii"))

@@ -162,6 +162,26 @@ register_scale(
     ),
     description="metro-sized cohort (5k clients, 64 per round, virtualized pool)",
 )
+# The sharded compute plane's flagship: one training sample per client
+# (iid array_split over a 100k-sample synthetic set keeps every shard
+# batch uniform), 128 participants per round dispatched to the shard
+# workers (``--shards``); per-worker RSS stays bounded because workers
+# receive only the participants' slices, never the cohort.
+register_scale(
+    "continent",
+    ScaleProfile(
+        name="continent",
+        num_clients=100_000,
+        clients_per_round=128,
+        rounds=3,
+        local_updates=2,
+        profile_batches=1,
+        train_size=100_000,
+        test_size=500,
+        batch_size=4,
+    ),
+    description="continent-sized cohort (100k clients, 128 per round, sharded workers)",
+)
 
 #: Dict-like facade over the scale registry, kept for the historical
 #: ``SCALES[name]`` call sites; :data:`repro.registry.SCALE_PROFILES` is the

@@ -50,7 +50,10 @@ from typing import List, Optional, Tuple
 
 #: Bump when the snapshot layout changes; stale checkpoints are ignored
 #: (the run restarts from scratch rather than resuming wrongly).
-CHECKPOINT_FORMAT = 2
+#: 3: snapshots grew the ``"shard"`` section — the sharded executor's
+#:    merged per-shard state (seed streams, cumulative counters, per-worker
+#:    stats/RSS) — ``None`` for unsharded runs.
+CHECKPOINT_FORMAT = 3
 
 
 # --------------------------------------------------------------------- capture
@@ -105,6 +108,14 @@ def capture_snapshot(experiment) -> Optional[dict]:
     ):
         return None
 
+    # The sharded compute plane schedules no events and holds no round
+    # state at a capture boundary (workers idle between rounds); its
+    # contribution is the merged per-shard bookkeeping.
+    executor = getattr(cluster, "batched_executor", None)
+    shard_state = (
+        executor.shard_snapshot() if hasattr(executor, "shard_snapshot") else None
+    )
+
     return {
         "format": CHECKPOINT_FORMAT,
         "run_key": None,  # filled in by the writer
@@ -119,6 +130,7 @@ def capture_snapshot(experiment) -> Optional[dict]:
         "dynamics": dynamics_state,
         "messages": messages,
         "transport": transport_state,
+        "shard": shard_state,
     }
 
 
@@ -151,6 +163,10 @@ def restore_snapshot(experiment, snapshot: dict) -> None:
 
     federator.restore_checkpoint_state(snapshot["federator"])
     federator.result.rounds.extend(snapshot["records"])
+
+    executor = getattr(cluster, "batched_executor", None)
+    if hasattr(executor, "restore_shard_snapshot"):
+        executor.restore_shard_snapshot(snapshot.get("shard"))
 
     if experiment.dynamics is not None and snapshot["dynamics"] is not None:
         experiment.dynamics.restore_state(snapshot["dynamics"])

@@ -343,11 +343,27 @@ class BaseFederator:
 
         The hot path stacks the clients' flat parameter vectors and runs one
         fused weighted reduction; the per-key dictionary implementation
-        remains as the fallback for post-processed contributions.
+        remains as the fallback for post-processed contributions.  Under
+        sharded execution the reduction runs through the executor's
+        hierarchical aggregation tree (edge aggregators per shard, root
+        merge) — bitwise identical to the flat path in its default
+        ``"exact"`` mode.
         """
         rows = self.flat_contributions(state, contributions)
         if rows is not None:
-            averaged = fedavg_aggregate_flat(rows, [n for _, n, _ in contributions])
+            sizes = [n for _, n, _ in contributions]
+            hierarchy = getattr(
+                getattr(self.cluster, "batched_executor", None), "hierarchy", None
+            )
+            if hierarchy is not None:
+                ordered = [
+                    client_id
+                    for client_id in sorted(state.results)
+                    if client_id not in state.dropped_clients
+                ]
+                averaged = hierarchy.aggregate_flat(rows, sizes, ordered)
+            else:
+                averaged = fedavg_aggregate_flat(rows, sizes)
             return unflatten_weights(averaged, weight_spec(contributions[0][0]))
         return fedavg_aggregate([(w, n) for w, n, _ in contributions])
 

@@ -55,6 +55,11 @@ from repro.serve.session import SessionManager
 #: Default wall-clock allowance for checkpointing everything on SIGTERM.
 DRAIN_TIMEOUT_S = 120.0
 
+#: Hard cap on request bodies; a Content-Length beyond this is rejected
+#: before any bytes are read (the largest legitimate payload — a bulk
+#: check-in batch — is a few hundred KB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
 
 class _ServeHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
@@ -87,7 +92,32 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
             raise ProtocolError(ERR_BAD_REQUEST, "bad Content-Length header")
-        return self.rfile.read(length) if length > 0 else b""
+        if length < 0:
+            raise ProtocolError(ERR_BAD_REQUEST, "bad Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"request body too large: {length} bytes (max {MAX_BODY_BYTES})",
+            )
+        if length == 0:
+            return b""
+        # A socket read may return fewer bytes than asked (segmented
+        # delivery, slow client): keep reading until the declared length
+        # or EOF.  A short body is a truncated request, not a valid one.
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        if remaining > 0:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"request body truncated: got {length - remaining} of {length} bytes",
+            )
+        return b"".join(chunks)
 
     def _chunk(self, text: str) -> None:
         data = text.encode("utf-8")

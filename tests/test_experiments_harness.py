@@ -30,13 +30,14 @@ from repro.fl.config import ExperimentConfig
 
 class TestWorkloads:
     def test_scale_registry(self):
-        assert set(SCALES) == {"smoke", "bench", "full", "city", "metro"}
+        assert set(SCALES) == {"smoke", "bench", "full", "city", "metro", "continent"}
         assert SCALES["smoke"].rounds < SCALES["bench"].rounds < SCALES["full"].rounds
         # The large-cohort profiles use partial participation: memory is
         # bounded by clients_per_round, not the cohort.
         assert SCALES["city"].num_clients >= 1000
         assert SCALES["metro"].num_clients >= 5000
-        for name in ("city", "metro"):
+        assert SCALES["continent"].num_clients >= 100_000
+        for name in ("city", "metro", "continent"):
             assert SCALES[name].is_partial_participation
 
     def test_scale_from_env(self, monkeypatch):

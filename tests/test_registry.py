@@ -105,7 +105,9 @@ class TestBuiltinCatalogue:
 
     def test_scenario_scale_dataset_registries_are_populated(self):
         assert {"stable", "churn", "mega-churn"} <= set(SCENARIOS.names())
-        assert set(SCALE_PROFILES.names()) == {"smoke", "bench", "full", "city", "metro"}
+        assert set(SCALE_PROFILES.names()) == {
+            "smoke", "bench", "full", "city", "metro", "continent",
+        }
         assert set(DATASETS.names()) == {"mnist", "fmnist", "cifar10", "cifar100"}
 
     def test_dataset_metadata_carries_the_architecture(self):

@@ -271,3 +271,139 @@ class TestResultsToJson:
             "complete",
             "incomplete",
         ]
+
+
+class TestStaleBreakRace:
+    """The two-breaker stale-lock race (writer-lock bugfix regression).
+
+    Scenario: two processes both classify one lock stale; breaker A breaks
+    it and re-acquires, then breaker B's *delayed* break fires.  The old
+    bare ``os.unlink`` deleted A's fresh lock, opening the run to a second
+    live writer on the same ``rounds.jsonl``.  The fixed break serializes
+    through an flock guard and re-verifies pid+inode under it, so a break
+    can only ever remove the exact stale inode it classified.
+    """
+
+    @staticmethod
+    def _dead_pid() -> int:
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_delayed_break_spares_the_replacing_fresh_lock(self, tmp_path):
+        from repro.api.store import (
+            _acquire_run_lock,
+            _break_stale_lock,
+            _release_run_lock,
+        )
+
+        lock = tmp_path / LOCK_NAME
+        lock.write_text(str(self._dead_pid()))
+        stale_inode = os.stat(lock).st_ino
+
+        # Breaker A: classifies stale, breaks, re-acquires.
+        _acquire_run_lock(lock)
+        try:
+            assert lock.read_text().strip() == str(os.getpid())
+            # Breaker B classified the *old* inode stale before A broke it;
+            # its delayed break fires only now.  With the old logic this
+            # unlinked A's fresh lock; now it must be a verified no-op.
+            _break_stale_lock(lock, stale_inode)
+            assert lock.exists()
+            assert lock.read_text().strip() == str(os.getpid())
+        finally:
+            _release_run_lock(lock)
+
+    def test_break_removes_exactly_the_verified_stale_inode(self, tmp_path):
+        from repro.api.store import _break_stale_lock
+
+        lock = tmp_path / LOCK_NAME
+        lock.write_text(str(self._dead_pid()))
+        _break_stale_lock(lock, os.stat(lock).st_ino)
+        assert not lock.exists()
+
+    def test_backoff_is_jittered_bounded_and_per_pid_deterministic(self, monkeypatch):
+        import random as random_module
+
+        from repro.api import store as store_module
+
+        recorded = []
+        monkeypatch.setattr(store_module.time, "sleep", recorded.append)
+
+        def schedule(seed: int):
+            recorded.clear()
+            rng = random_module.Random(seed)
+            for attempt in range(8):
+                store_module._sleep_backoff(rng, attempt)
+            return list(recorded)
+
+        first = schedule(1234)
+        assert schedule(1234) == first  # deterministic per seed (per pid)
+        assert schedule(99) != first  # decorrelated across pids
+        assert all(0.0 < delay <= 0.3 for delay in first)
+        # The cap grows: late attempts back off harder than early ones.
+        assert max(first[5:]) > max(first[:2])
+
+    def test_multiprocess_stress_never_overlaps_writers(self, tmp_path):
+        """N processes hammer one lock through the stale-break path.
+
+        Every winner "crashes" (leaves a dead-pid lock instead of
+        releasing), so each subsequent acquire must break a stale lock —
+        the racy path.  An O_EXCL sentinel held while the lock is owned
+        detects any two simultaneous writers.
+        """
+        dead_pid = self._dead_pid()
+        lock = tmp_path / LOCK_NAME
+        sentinel = tmp_path / "critical.sentinel"
+        lock.write_text(str(dead_pid))
+        src_root = str(
+            __import__("pathlib").Path(__file__).resolve().parent.parent / "src"
+        )
+        worker = tmp_path / "lock_worker.py"
+        worker.write_text(
+            "import os, sys, time\n"
+            f"sys.path.insert(0, {src_root!r})\n"
+            "from pathlib import Path\n"
+            "from repro.api.store import (RunLockedError, _HELD_LOCKS,\n"
+            "    _HELD_LOCKS_GUARD, _acquire_run_lock)\n"
+            "lock, sentinel, dead_pid = Path(sys.argv[1]), Path(sys.argv[2]), sys.argv[3]\n"
+            "wins = overlaps = 0\n"
+            "deadline = time.monotonic() + 6.0\n"
+            "while time.monotonic() < deadline and wins < 12:\n"
+            "    try:\n"
+            "        _acquire_run_lock(lock)\n"
+            "    except RunLockedError:\n"
+            "        time.sleep(0.001)\n"
+            "        continue\n"
+            "    try:\n"
+            "        fd = os.open(str(sentinel), os.O_CREAT | os.O_EXCL | os.O_WRONLY)\n"
+            "    except FileExistsError:\n"
+            "        overlaps += 1\n"
+            "    else:\n"
+            "        time.sleep(0.002)\n"
+            "        os.close(fd)\n"
+            "        os.unlink(str(sentinel))\n"
+            "    wins += 1\n"
+            "    # crash instead of releasing: leave a dead-pid (stale) lock\n"
+            "    lock.write_text(dead_pid)\n"
+            "    with _HELD_LOCKS_GUARD:\n"
+            "        _HELD_LOCKS.discard(str(lock))\n"
+            "print(wins, overlaps)\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(worker), str(lock), str(sentinel), str(dead_pid)],
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(4)
+        ]
+        total_wins = total_overlaps = 0
+        for proc in procs:
+            out, _ = proc.communicate(timeout=120)
+            assert proc.returncode == 0
+            wins, overlaps = (int(part) for part in out.split())
+            total_wins += wins
+            total_overlaps += overlaps
+        assert total_overlaps == 0
+        assert total_wins >= 8  # the stale-break path really was contended

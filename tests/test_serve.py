@@ -151,6 +151,102 @@ class TestProtocol:
 
 
 # ---------------------------------------------------------------------------
+# Request-body framing (the _read_body short-read bugfix)
+# ---------------------------------------------------------------------------
+class TestRequestBodyFraming:
+    """``_read_body`` must honour Content-Length exactly.
+
+    A single ``rfile.read(length)`` can legally return fewer bytes than
+    asked (segmented delivery, slow client); the old code then parsed a
+    truncated body.  The fixed reader loops to the declared length, maps a
+    genuinely short body to ``bad_request``, and rejects oversized or
+    malformed Content-Length headers before reading anything.
+    """
+
+    @staticmethod
+    def _raw_request(server, head: bytes, body: bytes, shut: bool = True) -> bytes:
+        host, port = server.address
+        sock = socket.create_connection((host, port), timeout=30)
+        try:
+            sock.sendall(head + body)
+            if shut:
+                sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                response = b"".join(chunks)
+                if b"\r\n\r\n" in response and not shut:
+                    break
+            return b"".join(chunks)
+        finally:
+            sock.close()
+
+    def test_truncated_body_is_bad_request(self, server):
+        head = (
+            b"POST /runs HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        response = self._raw_request(server, head, b"0123456789")
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b" 400 " in status_line
+        assert b"bad_request" in response
+        assert b"truncated" in response
+        assert b"10 of 100" in response
+
+    def test_oversized_content_length_rejected_before_reading(self, server):
+        from repro.serve.server import MAX_BODY_BYTES
+
+        head = (
+            b"POST /runs HTTP/1.1\r\nHost: t\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n".encode()
+            + b"Connection: close\r\n\r\n"
+        )
+        # No body bytes are ever sent: the server must answer regardless.
+        response = self._raw_request(server, head, b"")
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+        assert b"too large" in response
+
+    def test_negative_content_length_is_bad_request(self, server):
+        head = (
+            b"POST /runs HTTP/1.1\r\nHost: t\r\nContent-Length: -5\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        response = self._raw_request(server, head, b"")
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+
+    def test_segmented_body_is_reassembled(self, server):
+        body = json.dumps({"spec": {"algorithm": "not-an-algorithm"}}).encode()
+        head = (
+            b"POST /runs HTTP/1.1\r\nHost: t\r\n"
+            + f"Content-Length: {len(body)}\r\n".encode()
+            + b"Connection: close\r\n\r\n"
+        )
+        host, port = server.address
+        sock = socket.create_connection((host, port), timeout=30)
+        try:
+            sock.sendall(head + body[:3])
+            time.sleep(0.05)  # force a short first read server-side
+            sock.sendall(body[3:])
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            response = b"".join(chunks)
+        finally:
+            sock.close()
+        # The whole body arrived: the spec validator saw the full algorithm
+        # name (a short read would have surfaced as invalid JSON instead).
+        assert b"truncated" not in response
+        assert b"not-an-algorithm" in response
+
+
+# ---------------------------------------------------------------------------
 # Hosted-run lifecycle over HTTP
 # ---------------------------------------------------------------------------
 class TestServerLifecycle:
